@@ -1,0 +1,25 @@
+"""Benchmark harness helpers: every bench regenerates one paper artifact.
+
+Each benchmark writes its paper-style report to ``benchmarks/results/`` and
+attaches headline numbers to ``benchmark.extra_info`` so they survive in the
+pytest-benchmark JSON as well.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Returns write(name, text): saves and echoes a report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return write

@@ -1,0 +1,50 @@
+"""Figure 2: proxy buffer growth vs HOL blocking under TCP termination.
+
+Paper shape: with an unlimited receive window the proxy buffer grows at
+roughly the (100 - 40) Gbps rate mismatch; with a limited window the buffer
+is bounded but the client is head-of-line blocked down to the server rate.
+"""
+
+from repro.experiments import Fig2Config, compare_fig2
+from repro.experiments.common import format_table
+from repro.sim import milliseconds
+
+LIMIT_BYTES = 256 * 1024
+
+
+def test_fig2_termination_tradeoff(benchmark, report):
+    config = Fig2Config(duration_ns=milliseconds(3))
+    results = benchmark.pedantic(
+        lambda: compare_fig2(config, limited_buffer_bytes=LIMIT_BYTES),
+        rounds=1, iterations=1)
+    unlimited, limited = results["unlimited"], results["limited"]
+
+    rows = []
+    for result in (unlimited, limited):
+        rows.append([
+            result.mode,
+            f"{result.peak_buffer_bytes / 1e6:.2f}",
+            f"{result.buffer_growth_bps() / 1e9:.1f}",
+            f"{result.client_goodput_bps / 1e9:.1f}",
+            f"{result.server_goodput_bps / 1e9:.1f}",
+        ])
+    report("fig2_proxy_buffer", format_table(
+        ["mode", "peak buffer (MB)", "buffer growth (Gbps)",
+         "client goodput (Gbps)", "server goodput (Gbps)"],
+        rows,
+        title="Figure 2: TCP termination at a 100->40 Gbps proxy"))
+
+    mismatch_bps = config.client_rate_bps - config.server_rate_bps
+    benchmark.extra_info["unlimited_growth_gbps"] = \
+        unlimited.buffer_growth_bps() / 1e9
+    benchmark.extra_info["limited_peak_mb"] = \
+        limited.peak_buffer_bytes / 1e6
+
+    # Shape: unbounded mode grows near the rate mismatch...
+    assert unlimited.buffer_growth_bps() > 0.6 * mismatch_bps
+    # ...while the bounded mode keeps the buffer within a few limits' worth
+    assert limited.peak_buffer_bytes < 4 * LIMIT_BYTES
+    # and HOL-blocks the fast client down toward the server rate.
+    assert limited.client_goodput_bps < 0.6 * unlimited.client_goodput_bps
+    # Both modes keep the slow side busy.
+    assert limited.server_goodput_bps > 0.8 * config.server_rate_bps

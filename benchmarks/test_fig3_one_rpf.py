@@ -1,0 +1,40 @@
+"""Figure 3: one request per flow leads to congestion-control noise.
+
+Paper shape: with a new TCP connection per 16 KB message, throughput is
+noisy and the 100 Gbps dumbbell is underutilized, compared with persistent
+connections that keep congestion history.
+"""
+
+from repro.experiments import Fig3Config, compare_fig3
+from repro.experiments.common import format_table
+from repro.sim import milliseconds
+
+
+def test_fig3_connection_per_message(benchmark, report):
+    config = Fig3Config(duration_ns=milliseconds(3))
+    results = benchmark.pedantic(lambda: compare_fig3(config),
+                                 rounds=1, iterations=1)
+    per_message = results["per_message"]
+    persistent = results["persistent"]
+
+    rows = [[result.mode,
+             f"{result.mean_throughput_bps / 1e9:.1f}",
+             f"{result.throughput_cov:.3f}",
+             result.messages_completed]
+            for result in (per_message, persistent)]
+    report("fig3_one_rpf", format_table(
+        ["mode", "mean throughput (Gbps)", "throughput CoV",
+         "messages completed"],
+        rows,
+        title="Figure 3: 16KB messages over a 100 Gbps dumbbell, 4 hosts"))
+
+    benchmark.extra_info["per_message_gbps"] = \
+        per_message.mean_throughput_bps / 1e9
+    benchmark.extra_info["persistent_gbps"] = \
+        persistent.mean_throughput_bps / 1e9
+
+    # Shape: per-message connections waste capacity and are noisier.
+    assert (per_message.mean_throughput_bps
+            < 0.95 * persistent.mean_throughput_bps)
+    assert per_message.throughput_cov > persistent.throughput_cov
+    assert per_message.messages_completed < persistent.messages_completed

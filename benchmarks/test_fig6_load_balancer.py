@@ -1,0 +1,40 @@
+"""Figure 6: load-balancer comparison, tail message completion times.
+
+Paper shape: ECMP suffers from hash imbalance, packet spraying from
+reordering; the MTP message-aware balancer has the lowest 99th-percentile
+completion time.
+"""
+
+from repro.experiments import Fig6Config, compare_fig6
+from repro.experiments.common import format_table
+from repro.sim import milliseconds
+
+
+def test_fig6_load_balancers(benchmark, report):
+    config = Fig6Config(duration_ns=milliseconds(8))
+    results = benchmark.pedantic(lambda: compare_fig6(config),
+                                 rounds=1, iterations=1)
+    ecmp, spray, mtp = (results[name] for name in ("ecmp", "spray",
+                                                   "mtp_lb"))
+
+    rows = [[result.system,
+             result.messages_completed,
+             f"{result.p50_fct_ns() / 1e3:.0f}",
+             f"{result.p99_fct_ns() / 1e3:.0f}"]
+            for result in (ecmp, spray, mtp)]
+    report("fig6_load_balancer", format_table(
+        ["system", "messages", "p50 FCT (us)", "p99 FCT (us)"],
+        rows,
+        title=("Figure 6: two 100 Gbps paths (one +1us), skewed message "
+               "mix 10KB-1MB")))
+
+    for result in (ecmp, spray, mtp):
+        benchmark.extra_info[f"{result.system}_p99_us"] = \
+            result.p99_fct_ns() / 1e3
+
+    # Shape: the message-aware MTP balancer has the lowest tail.
+    assert mtp.p99_fct_ns() < ecmp.p99_fct_ns()
+    assert mtp.p99_fct_ns() < spray.p99_fct_ns()
+    # Everyone finished (or nearly finished) the offered work.
+    for result in (ecmp, spray, mtp):
+        assert result.messages_completed >= 0.95 * result.messages_offered

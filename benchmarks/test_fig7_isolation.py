@@ -1,0 +1,48 @@
+"""Figure 7: per-entity isolation between two tenants.
+
+Paper shape: with a shared DCTCP queue, the tenant running 8x more streams
+takes ~8x the bandwidth (~80 vs ~10 Gbps); per-tenant queues and the
+MTP-enabled fair-share queue both restore a ~50/50 split.
+"""
+
+from repro.experiments import Fig7Config, compare_fig7
+from repro.experiments.common import format_table
+from repro.sim import milliseconds
+
+
+def test_fig7_tenant_isolation(benchmark, report):
+    config = Fig7Config(duration_ns=milliseconds(4))
+    results = benchmark.pedantic(lambda: compare_fig7(config),
+                                 rounds=1, iterations=1)
+    shared = results["shared"]
+    separate = results["separate"]
+    fair_share = results["fair_share"]
+
+    rows = [[result.system,
+             f"{result.tenant_goodput_bps['tenant1'] / 1e9:.1f}",
+             f"{result.tenant_goodput_bps['tenant2'] / 1e9:.1f}",
+             f"{result.throughput_ratio():.2f}",
+             f"{result.fairness:.3f}"]
+            for result in (shared, separate, fair_share)]
+    report("fig7_isolation", format_table(
+        ["system", "tenant1 (Gbps)", "tenant2 (Gbps)", "t2/t1 ratio",
+         "Jain index"],
+        rows,
+        title=("Figure 7: tenant2 runs 8x the streams over a shared "
+               "100 Gbps link")))
+
+    for result in (shared, separate, fair_share):
+        benchmark.extra_info[f"{result.system}_ratio"] = \
+            result.throughput_ratio()
+
+    # Shape: shared queue hands tenant2 roughly its stream ratio...
+    assert shared.throughput_ratio() > 4.0
+    # ...both isolation mechanisms restore near-equal sharing...
+    assert 0.7 < separate.throughput_ratio() < 1.4
+    assert 0.7 < fair_share.throughput_ratio() < 1.4
+    assert separate.fairness > 0.95
+    assert fair_share.fairness > 0.95
+    # ...and the link stays utilized under every system.
+    for result in (shared, separate, fair_share):
+        total = sum(result.tenant_goodput_bps.values())
+        assert total > 0.7 * config.bottleneck_rate_bps

@@ -1,0 +1,48 @@
+"""Section 4 "Packet Header Overheads": MTP header size and codec speed.
+
+The paper notes MTP headers can outgrow TCP's and suggests aggregating or
+selectively returning feedback.  This bench quantifies the wire size as a
+function of path length and measures serialization throughput (a proxy for
+the per-packet processing cost a NIC/switch would pay).
+"""
+
+from repro.core import (FB_ECN, FIXED_HEADER_BYTES, Feedback, KIND_DATA,
+                        MtpHeader)
+from repro.experiments.common import format_table
+
+TCP_HEADER_BYTES = 40
+
+
+def make_header(n_feedback: int) -> MtpHeader:
+    header = MtpHeader(KIND_DATA, 1, 2, 3, msg_len_bytes=1460,
+                       msg_len_pkts=1, pkt_len=1460)
+    for path_id in range(n_feedback):
+        header.path_feedback.append((path_id + 1, 0, Feedback(FB_ECN, 0.0)))
+    return header
+
+
+def test_header_size_vs_path_length(benchmark, report):
+    sizes = benchmark.pedantic(
+        lambda: {hops: make_header(hops).wire_size()
+                 for hops in (0, 1, 2, 4, 8)},
+        rounds=1, iterations=1)
+    rows = [[hops, size, f"{size / TCP_HEADER_BYTES:.1f}x"]
+            for hops, size in sizes.items()]
+    report("header_overhead", format_table(
+        ["feedback entries", "MTP header (bytes)", "vs TCP (40B)"], rows,
+        title="Section 4: MTP header size vs pathlet feedback entries"))
+    assert make_header(0).wire_size() == FIXED_HEADER_BYTES
+    # One hop of feedback already exceeds a bare TCP header...
+    assert make_header(1).wire_size() > TCP_HEADER_BYTES
+    # ...and growth is linear, not explosive.
+    assert make_header(8).wire_size() < 8 * TCP_HEADER_BYTES
+
+
+def test_header_serialize_parse_roundtrip(benchmark):
+    header = make_header(4)
+
+    def roundtrip():
+        return MtpHeader.parse(header.serialize())
+
+    parsed = benchmark(roundtrip)
+    assert parsed.path_feedback == header.path_feedback

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Print the paper's Table 1 and verify MTP's column with live probes.
+
+Run:  python examples/feature_matrix.py
+"""
+
+from repro.experiments import render_paper_table, run_probes
+from repro.experiments.table1 import PROBES
+
+
+def main() -> None:
+    print(render_paper_table())
+    print("\nverifying MTP's column against this implementation...")
+    for requirement, passed in run_probes().items():
+        description = PROBES[requirement][0]
+        status = "PASS" if passed else "FAIL"
+        print(f"  [{status}] {requirement}: {description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation`` works via the legacy
+``setup.py develop`` path when PEP 517 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

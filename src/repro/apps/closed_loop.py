@@ -1,0 +1,88 @@
+"""Closed-loop load generation: fixed concurrency with think time.
+
+Open-loop (Poisson) arrivals model the aggregate of many independent
+clients; closed-loop workers model a service with a bounded client pool —
+each worker issues a request, waits for the response, thinks, repeats.
+Offered load is then self-limiting, which is what you want when measuring
+a server or offload rather than a link.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..sim.engine import Simulator
+
+__all__ = ["ClosedLoopLoad"]
+
+
+class ClosedLoopLoad:
+    """``concurrency`` workers in issue -> wait -> think loops.
+
+    ``issue(done)`` must start one request and arrange for ``done()`` to be
+    called exactly once on completion (e.g. pass it as the RPC callback).
+    Think times are exponential with mean ``think_time_ns`` (0 = none).
+    """
+
+    def __init__(self, sim: Simulator, issue: Callable[[Callable], None],
+                 concurrency: int = 1, think_time_ns: int = 0,
+                 rng: Optional[random.Random] = None,
+                 max_requests: Optional[int] = None):
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        if think_time_ns < 0:
+            raise ValueError("think time must be non-negative")
+        self.sim = sim
+        self.issue = issue
+        self.concurrency = concurrency
+        self.think_time_ns = think_time_ns
+        self.rng = rng if rng is not None else random.Random(0)
+        self.max_requests = max_requests
+        self.issued = 0
+        self.completed = 0
+        self.latencies_ns: List[int] = []
+        self._stopped = False
+
+    def start(self) -> None:
+        """Launch all workers."""
+        for _ in range(self.concurrency):
+            self._worker_issue()
+
+    def stop(self) -> None:
+        """Let in-flight requests finish; issue no more."""
+        self._stopped = True
+
+    def _worker_issue(self) -> None:
+        if self._stopped:
+            return
+        if self.max_requests is not None \
+                and self.issued >= self.max_requests:
+            return
+        self.issued += 1
+        started = self.sim.now
+
+        def done():
+            self.completed += 1
+            self.latencies_ns.append(self.sim.now - started)
+            self._schedule_next()
+
+        self.issue(done)
+
+    def _schedule_next(self) -> None:
+        if self.think_time_ns == 0:
+            self._worker_issue()
+            return
+        gap = round(self.rng.expovariate(1.0 / self.think_time_ns))
+        self.sim.schedule(max(1, gap), self._worker_issue)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests issued but not completed."""
+        return self.issued - self.completed
+
+    def throughput_per_sec(self, duration_ns: int) -> float:
+        """Completed requests per second of virtual time."""
+        if duration_ns <= 0:
+            return 0.0
+        return self.completed * 1e9 / duration_ns

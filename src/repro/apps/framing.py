@@ -1,0 +1,69 @@
+"""Message framing over a TCP byte stream.
+
+The conventional way to run RPCs today: length-prefixed messages on one
+persistent connection.  The stream delivers strictly in order, so a large
+message head-of-line blocks every message behind it — the Section-2
+limitation MTP's independent messages remove.  :class:`TcpMessageFraming`
+adds the framing bookkeeping to our byte-count TCP: senders declare message
+boundaries, the receiver completes messages as the in-order byte count
+crosses each boundary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..transport.tcp import TcpConnection
+
+__all__ = ["TcpMessageFraming"]
+
+
+class TcpMessageFraming:
+    """Length-prefixed message framing on one TCP connection direction.
+
+    The sender side calls :meth:`send_message`; the receiver side attaches
+    :meth:`on_data` as (or inside) the connection's data callback and gets
+    ``on_message(framing, size, tag)`` per completed message — strictly in
+    send order, because that is all a byte stream can do.
+    """
+
+    def __init__(self, on_message: Optional[Callable] = None):
+        self.on_message = on_message or (lambda framing, size, tag: None)
+        self._boundaries: Deque[Tuple[int, object]] = deque()
+        self._received = 0
+        self._consumed = 0
+        self.messages_sent = 0
+        self.messages_completed = 0
+        self._sender: Optional[TcpConnection] = None
+
+    def bind_sender(self, conn: TcpConnection) -> None:
+        """Attach the sending connection (established or not)."""
+        self._sender = conn
+
+    def send_message(self, size: int, tag=None) -> None:
+        """Send one framed message of ``size`` bytes."""
+        if size <= 0:
+            raise ValueError("message size must be positive")
+        if self._sender is None:
+            raise RuntimeError("bind_sender() first")
+        self._boundaries.append((size, tag))
+        self.messages_sent += 1
+        self._sender.send(size)
+
+    def on_data(self, conn: TcpConnection, nbytes: int) -> None:
+        """Feed delivered in-order byte counts from the receiver side."""
+        self._received += nbytes
+        while self._boundaries:
+            size, tag = self._boundaries[0]
+            if self._received - self._consumed < size:
+                break
+            self._boundaries.popleft()
+            self._consumed += size
+            self.messages_completed += 1
+            self.on_message(self, size, tag)
+
+    @property
+    def pending_messages(self) -> int:
+        """Messages sent but not yet fully delivered in order."""
+        return len(self._boundaries)

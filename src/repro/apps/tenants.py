@@ -1,0 +1,129 @@
+"""Tenant abstraction: a named entity generating labelled traffic.
+
+Wraps the boilerplate of the multi-tenant experiments (Figure 7 and the
+isolation examples): each tenant owns a sender/receiver host pair, labels
+its packets with its entity name (which switches classify into a traffic
+class), runs a configurable number of parallel streams, and measures its
+own goodput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.endpoint import MtpEndpoint, MtpStack
+from ..core.reassembly import BlobSender
+from ..net.monitor import RateMonitor
+from ..net.node import Host
+from ..sim.engine import Simulator
+from ..sim.units import microseconds
+from ..transport.base import ConnectionCallbacks
+from ..transport.tcp import TcpStack
+
+__all__ = ["Tenant", "TenantSet"]
+
+
+class Tenant:
+    """One tenant: labelled streams between a sender and a receiver host.
+
+    Args:
+        name: entity label stamped on every packet (isolation policies and
+            TC classifiers key on it).
+        sender / receiver: this tenant's hosts (already wired into a
+            topology).
+        streams: number of parallel long-lived streams.
+        transport: "mtp" (blob streams over one endpoint, shared per-TC
+            congestion state) or "dctcp" (one connection per stream,
+            per-flow congestion state — the paper's baseline).
+    """
+
+    def __init__(self, name: str, sender: Host, receiver: Host,
+                 streams: int = 1, transport: str = "mtp",
+                 tcp_min_rto_ns: int = microseconds(1000)):
+        if streams <= 0:
+            raise ValueError("streams must be positive")
+        if transport not in ("mtp", "dctcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.name = name
+        self.sender = sender
+        self.receiver = receiver
+        self.streams = streams
+        self.transport = transport
+        self.tcp_min_rto_ns = tcp_min_rto_ns
+        self.sim: Simulator = sender.sim
+        self.monitor = RateMonitor(self.sim, microseconds(100))
+        self._endpoint: Optional[MtpEndpoint] = None
+        self._started = False
+
+    def start(self) -> None:
+        """Create stacks and launch the tenant's streams."""
+        if self._started:
+            raise RuntimeError(f"tenant {self.name} already started")
+        self._started = True
+        if self.transport == "mtp":
+            self._start_mtp()
+        else:
+            self._start_dctcp()
+
+    def goodput_bps(self, start_ns: int, end_ns: int) -> float:
+        """This tenant's delivered goodput over a window."""
+        return self.monitor.mean_bps(start_ns, end_ns)
+
+    def _start_mtp(self) -> None:
+        sender_stack = MtpStack(self.sender)
+        receiver_stack = MtpStack(self.receiver)
+        receiver_stack.endpoint(
+            port=100,
+            on_message=lambda ep, msg: self.monitor.record_bytes(msg.size))
+        self._endpoint = sender_stack.endpoint(tc=self.name)
+        for _ in range(self.streams):
+            BlobSender(self._endpoint, self.receiver.address, 100,
+                       total_bytes=1 << 40, window_messages=128)
+
+    def _start_dctcp(self) -> None:
+        sender_stack = TcpStack(self.sender)
+        receiver_stack = TcpStack(self.receiver)
+        receiver_stack.listen(
+            80, lambda conn: ConnectionCallbacks(
+                on_data=lambda c, nbytes: self.monitor.record_bytes(nbytes)),
+            variant="dctcp", min_rto_ns=self.tcp_min_rto_ns,
+            entity=self.name)
+        for _ in range(self.streams):
+            sender_stack.connect(
+                self.receiver.address, 80,
+                ConnectionCallbacks(
+                    on_connected=lambda conn: conn.send(1 << 40)),
+                variant="dctcp", min_rto_ns=self.tcp_min_rto_ns,
+                entity=self.name)
+
+    def __repr__(self) -> str:
+        return (f"<Tenant {self.name} {self.transport} "
+                f"x{self.streams} streams>")
+
+
+class TenantSet:
+    """A group of tenants measured together."""
+
+    def __init__(self, tenants: List[Tenant]):
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        self.tenants = tenants
+
+    def start_all(self) -> None:
+        """Launch every tenant's streams."""
+        for tenant in self.tenants:
+            tenant.start()
+
+    def goodputs_bps(self, start_ns: int, end_ns: int) -> Dict[str, float]:
+        """Per-tenant goodput over a window."""
+        return {tenant.name: tenant.goodput_bps(start_ns, end_ns)
+                for tenant in self.tenants}
+
+    def __iter__(self):
+        return iter(self.tenants)
+
+    def __len__(self) -> int:
+        return len(self.tenants)

@@ -1,0 +1,31 @@
+"""MTP core: message transport and pathlet congestion control."""
+
+from .cc import (CongestionController, DelayController, FEEDBACK_ALGORITHMS,
+                 PathletCcManager, RateController, WindowEcnController,
+                 controller_for_feedback, register_feedback_algorithm)
+from .endpoint import ACK_SIZE, DeliveredMessage, MtpEndpoint, MtpStack
+from .feedback import (FB_DELAY, FB_ECN, FB_QUEUE, FB_RATE, FB_TRIM,
+                       Feedback)
+from .header import (FIXED_HEADER_BYTES, KIND_ACK, KIND_DATA, MtpHeader)
+from .message import (MTP_MAX_PAYLOAD, Message, ReceiveState, SendState,
+                      fragment_sizes)
+from .pathlets import (DelayFeedbackSource, EcnFeedbackSource,
+                       FeedbackSource, PathletAnnotator, PathletRegistry,
+                       QueueFeedbackSource, RateFeedbackSource,
+                       SelectiveFeedbackSource, UNKNOWN_PATHLET)
+from .reassembly import BlobChunk, BlobReceiver, BlobSender
+
+__all__ = [
+    "MtpStack", "MtpEndpoint", "DeliveredMessage", "ACK_SIZE",
+    "MtpHeader", "KIND_DATA", "KIND_ACK", "FIXED_HEADER_BYTES",
+    "Message", "SendState", "ReceiveState", "fragment_sizes",
+    "MTP_MAX_PAYLOAD",
+    "Feedback", "FB_ECN", "FB_RATE", "FB_DELAY", "FB_QUEUE", "FB_TRIM",
+    "PathletRegistry", "PathletAnnotator", "FeedbackSource",
+    "EcnFeedbackSource", "RateFeedbackSource", "DelayFeedbackSource",
+    "QueueFeedbackSource", "SelectiveFeedbackSource", "UNKNOWN_PATHLET",
+    "PathletCcManager", "CongestionController", "WindowEcnController",
+    "RateController", "DelayController", "controller_for_feedback",
+    "register_feedback_algorithm", "FEEDBACK_ALGORITHMS",
+    "BlobSender", "BlobReceiver", "BlobChunk",
+]

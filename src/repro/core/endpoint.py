@@ -1,0 +1,514 @@
+"""MTP end-host: connectionless message transport over pathlet CC.
+
+Messages are sent without connection establishment; every packet is
+self-describing (message id, geometry, priority).  Acknowledgements are
+per-packet SACKs that also echo the path feedback collected en route, which
+feeds the :class:`~repro.core.cc.PathletCcManager`.  Retransmission is
+timeout-driven per packet, with NACKs (e.g. from NDP-style trimming)
+triggering immediate repair.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+from ..net.node import Host
+from ..net.packet import DEFAULT_HEADER_BYTES, ECT_CAPABLE, Packet
+from ..sim.engine import Timer
+from ..sim.units import microseconds
+from .cc import PathletCcManager
+from .feedback import FB_TRIM
+from .header import KIND_ACK, KIND_DATA, MtpHeader
+from .message import (MTP_MAX_PAYLOAD, Message, ReceiveState, SendState)
+from ..transport.base import TransportStack
+
+__all__ = ["MtpStack", "MtpEndpoint", "DeliveredMessage"]
+
+#: Nominal wire size of a pure acknowledgement packet.
+ACK_SIZE = 64
+
+#: How many completed messages a receiver remembers for duplicate re-ACKs.
+COMPLETED_MEMORY = 4096
+
+
+class DeliveredMessage:
+    """What the receiving application sees for one complete message."""
+
+    __slots__ = ("src_address", "src_port", "msg_id", "size", "priority",
+                 "payload", "first_seen", "completed_at")
+
+    def __init__(self, src_address: int, src_port: int, msg_id: int,
+                 size: int, priority: int, payload, first_seen: int,
+                 completed_at: int):
+        self.src_address = src_address
+        self.src_port = src_port
+        self.msg_id = msg_id
+        self.size = size
+        self.priority = priority
+        self.payload = payload
+        self.first_seen = first_seen
+        self.completed_at = completed_at
+
+    @property
+    def latency_ns(self) -> int:
+        """Time from first packet arrival to completion at the receiver."""
+        return self.completed_at - self.first_seen
+
+    def __repr__(self) -> str:
+        return (f"<DeliveredMessage msg={self.msg_id} {self.size}B "
+                f"from {self.src_address}:{self.src_port}>")
+
+
+class MtpStack(TransportStack):
+    """Per-host MTP: endpoints share one pathlet congestion manager.
+
+    Congestion state is host-wide by design — flows (and endpoints) that use
+    the same pathlet share its window (Section 3.1.3).
+    """
+
+    protocol_name = "mtp"
+
+    def __init__(self, host: Host, mss: int = 1460,
+                 init_window_segments: int = 10,
+                 min_rto_ns: int = microseconds(100)):
+        super().__init__(host)
+        self.mss = min(mss, MTP_MAX_PAYLOAD)
+        self.min_rto_ns = min_rto_ns
+        self.cc = PathletCcManager(mss=self.mss,
+                                   init_window_segments=init_window_segments)
+        self._endpoints: Dict[int, MtpEndpoint] = {}
+        self._next_port = 30_000
+
+    def endpoint(self, port: Optional[int] = None,
+                 on_message: Optional[Callable] = None,
+                 tc: str = "default") -> "MtpEndpoint":
+        """Create an endpoint bound to ``port`` (or an ephemeral one)."""
+        if port is None:
+            self._next_port += 1
+            port = self._next_port
+        if port in self._endpoints:
+            raise ValueError(f"MTP port {port} already bound")
+        endpoint = MtpEndpoint(self, port, on_message, tc=tc)
+        self._endpoints[port] = endpoint
+        return endpoint
+
+    def handle_packet(self, packet: Packet) -> None:
+        header: MtpHeader = packet.header
+        endpoint = self._endpoints.get(header.dst_port)
+        if endpoint is None:
+            self.host.counters.add("mtp_unreachable")
+            return
+        if header.kind == KIND_DATA:
+            endpoint._handle_data(packet, header)
+        else:
+            endpoint._handle_ack(packet, header)
+
+
+class MtpEndpoint:
+    """One MTP port: sends and receives independent messages."""
+
+    def __init__(self, stack: MtpStack, port: int,
+                 on_message: Optional[Callable] = None,
+                 tc: str = "default"):
+        self.stack = stack
+        self.sim = stack.sim
+        self.port = port
+        self.tc = tc
+        self.on_message = on_message or (lambda endpoint, message: None)
+        self.cc = stack.cc
+
+        # Sender state.
+        self._outgoing: Dict[int, SendState] = {}
+        #: priority -> rotation of msg_ids with unsent packets.  Messages
+        #: within a priority class are served round-robin, one packet per
+        #: turn, so parallel messages interleave (processor sharing) rather
+        #: than serializing behind the oldest elephant.
+        self._ready: Dict[int, deque] = {}
+        self._retx_queue: list = []  # (priority, msg_id, pkt_num)
+        #: Min-heap of (send_time, msg_id, pkt_num) for in-flight packets;
+        #: entries are validated lazily against the authoritative
+        #: ``SendState.inflight`` when peeked, so the retransmission timer
+        #: arms in O(log n) instead of rescanning every in-flight packet.
+        self._send_times: list = []
+        #: How many window-blocked messages to skip past per send round
+        #: before giving up (bounds the scheduler's per-event work).
+        self.max_blocked_scan = 32
+        self._rto_timer = Timer(self.sim, self._on_rto)
+        self.srtt: Optional[int] = None
+        self.rttvar = 0
+        self.advertise_exclusions = False
+
+        # Receiver state.
+        self._incoming: Dict[Tuple[int, int], ReceiveState] = {}
+        self._completed: Dict[Tuple[int, int], bool] = {}
+
+        # Stats.
+        self.messages_sent = 0
+        self.messages_completed = 0
+        self.messages_failed = 0
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+        self.data_packets_sent = 0
+        self.retransmissions = 0
+        self.nack_repairs = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send_message(self, dst_address: int, dst_port: int, size: int,
+                     priority: int = 0, payload=None,
+                     on_complete: Optional[Callable] = None,
+                     tc: Optional[str] = None,
+                     deadline_ns: Optional[int] = None,
+                     on_failed: Optional[Callable] = None) -> SendState:
+        """Queue an independent message; returns its send-side state.
+
+        ``on_complete(send_state)`` fires when every packet is acknowledged.
+        Smaller ``priority`` values are served first.  With ``deadline_ns``
+        set, a message not fully acknowledged within that budget is aborted
+        and ``on_failed(send_state)`` fires instead — bounded-latency RPCs
+        without caller-side timers.
+        """
+        message = Message(size, priority=priority,
+                          tc=tc if tc is not None else self.tc,
+                          payload=payload,
+                          max_payload=self.stack.mss)
+        state = SendState(message, dst_address, dst_port,
+                          on_complete=on_complete, created_at=self.sim.now,
+                          on_failed=on_failed)
+        self._outgoing[message.msg_id] = state
+        self._ready.setdefault(message.priority, deque()).append(
+            message.msg_id)
+        self.messages_sent += 1
+        if deadline_ns is not None:
+            if deadline_ns <= 0:
+                raise ValueError("deadline must be positive")
+            self.sim.schedule(deadline_ns, self._check_deadline,
+                              message.msg_id)
+        self._try_send()
+        return state
+
+    def abort_message(self, msg_id: int) -> bool:
+        """Cancel an outstanding message; returns False if already done.
+
+        In-flight packets are uncharged from their pathlets; the receiver
+        simply never completes the message (its partial state ages out with
+        the connectionless transport — there is no connection to reset).
+        """
+        state = self._outgoing.pop(msg_id, None)
+        if state is None:
+            return False
+        state.failed = True
+        self.messages_failed += 1
+        for pkt_num in list(state.inflight):
+            state.inflight.pop(pkt_num)
+            path = state.charged_path.pop(
+                pkt_num, self.cc.path_for(state.dst_address))
+            self.cc.uncharge(path, state.message.tc,
+                             state.message.packet_sizes[pkt_num])
+        self._retx_queue = [entry for entry in self._retx_queue
+                            if entry[1] != msg_id]
+        self._arm_rto()
+        if state.on_failed is not None:
+            state.on_failed(state)
+        self._try_send()
+        return True
+
+    def _check_deadline(self, msg_id: int) -> None:
+        if msg_id in self._outgoing:
+            self.abort_message(msg_id)
+
+    def _try_send(self) -> None:
+        # Retransmissions first: they already consumed window budget once
+        # and repairing holes completes messages soonest.  ``blocked`` memos
+        # (dst, tc) routes whose windows are full this round, so the
+        # scheduler does not re-probe the same congested path per message.
+        blocked: set = set()
+        self._drain_retransmissions(blocked)
+        self._drain_fresh_packets(blocked)
+
+    def _drain_retransmissions(self, blocked: set) -> None:
+        if not self._retx_queue:
+            return
+        self._retx_queue.sort()
+        remaining = []
+        for priority, msg_id, pkt_num in self._retx_queue:
+            state = self._outgoing.get(msg_id)
+            if state is None or pkt_num in state.acked:
+                continue  # resolved while queued
+            route = (state.dst_address, state.message.tc)
+            if route not in blocked \
+                    and self._send_packet(state, pkt_num, retransmit=True):
+                continue
+            blocked.add(route)
+            remaining.append((priority, msg_id, pkt_num))
+        self._retx_queue = remaining
+
+    def _drain_fresh_packets(self, blocked: set) -> None:
+        # Serve priority classes in ascending order; within a class, round
+        # robin one packet per message so parallel messages share the path.
+        # Window-blocked messages are skipped (bounded scan) — messages to
+        # other destinations behind them still make progress.
+        blocked_scans = 0
+        for priority in sorted(self._ready):
+            rotation = self._ready[priority]
+            blocked_here = 0
+            # One full sweep is `len(rotation)` turns with no progress.
+            while rotation and blocked_here < len(rotation) \
+                    and blocked_scans < self.max_blocked_scan:
+                msg_id = rotation[0]
+                state = self._outgoing.get(msg_id)
+                if state is None or state.unsent_packets() == 0:
+                    rotation.popleft()
+                    continue
+                route = (state.dst_address, state.message.tc)
+                if route not in blocked and self._send_packet(
+                        state, state.next_to_send, retransmit=False):
+                    state.next_to_send += 1
+                    rotation.rotate(-1)
+                    blocked_here = 0
+                else:
+                    blocked.add(route)
+                    rotation.rotate(-1)
+                    blocked_here += 1
+                    blocked_scans += 1
+            if not rotation:
+                del self._ready[priority]
+
+    def _send_packet(self, state: SendState, pkt_num: int,
+                     retransmit: bool) -> bool:
+        message = state.message
+        pkt_len = message.packet_sizes[pkt_num]
+        if not self.cc.can_send(state.dst_address, message.tc, pkt_len):
+            return False
+        header = MtpHeader(KIND_DATA, self.port, state.dst_port,
+                           message.msg_id, priority=message.priority,
+                           msg_len_bytes=message.size,
+                           msg_len_pkts=message.n_packets, pkt_num=pkt_num,
+                           pkt_offset=message.packet_offset(pkt_num),
+                           pkt_len=pkt_len, ts=self.sim.now)
+        if self.advertise_exclusions:
+            for pathlet_id in self.cc.congested_pathlets(message.tc):
+                header.path_exclude.append((pathlet_id, 0))
+        header.payload = message.payload
+        packet = Packet(self.stack.host.address, state.dst_address,
+                        DEFAULT_HEADER_BYTES + pkt_len, "mtp", header=header,
+                        ecn=ECT_CAPABLE, entity=message.tc,
+                        flow_label=(self.stack.host.address, message.msg_id),
+                        created_at=self.sim.now)
+        path = self.cc.path_for(state.dst_address)
+        self.cc.charge(path, message.tc, pkt_len)
+        state.charged_path[pkt_num] = path
+        state.inflight[pkt_num] = (self.sim.now, retransmit)
+        heapq.heappush(self._send_times,
+                       (self.sim.now, message.msg_id, pkt_num))
+        if retransmit:
+            state.retransmissions += 1
+            self.retransmissions += 1
+        self.data_packets_sent += 1
+        self.stack.send_packet(packet)
+        self._arm_rto()
+        return True
+
+    # ------------------------------------------------------------------
+    # Receiving data
+    # ------------------------------------------------------------------
+
+    def _handle_data(self, packet: Packet, header: MtpHeader) -> None:
+        if any(feedback.type == FB_TRIM and feedback.value > 0
+               for _, _, feedback in header.path_feedback):
+            # NDP-style trim: the payload was cut in-network.  NACK for an
+            # immediate repair, echoing the feedback so the sender's
+            # controller treats the trim as a congestion mark.
+            self.send_nack(packet.src, header.src_port, header.msg_id,
+                           header.pkt_num,
+                           feedback_path=header.path_feedback)
+            return
+        key = (packet.src, header.msg_id)
+        if key in self._completed:
+            self._send_ack(packet, header)  # duplicate of a finished message
+            return
+        state = self._incoming.get(key)
+        if state is None:
+            state = ReceiveState(packet.src, header.msg_id,
+                                 header.msg_len_bytes, header.msg_len_pkts,
+                                 header.priority, self.sim.now)
+            self._incoming[key] = state
+        state.add_packet(header.pkt_num, header.pkt_len,
+                         payload=header.payload)
+        self._send_ack(packet, header)
+        if state.complete:
+            del self._incoming[key]
+            self._remember_completed(key)
+            self.messages_delivered += 1
+            self.bytes_delivered += state.msg_len_bytes
+            delivered = DeliveredMessage(
+                packet.src, header.src_port, header.msg_id,
+                state.msg_len_bytes, state.priority, header.payload,
+                state.first_seen, self.sim.now)
+            self.on_message(self, delivered)
+
+    def _remember_completed(self, key: Tuple[int, int]) -> None:
+        self._completed[key] = True
+        if len(self._completed) > COMPLETED_MEMORY:
+            oldest = next(iter(self._completed))
+            del self._completed[oldest]
+
+    def _send_ack(self, packet: Packet, header: MtpHeader) -> None:
+        ack = MtpHeader(KIND_ACK, self.port, header.src_port, header.msg_id,
+                        ts=self.sim.now, ts_echo=header.ts)
+        ack.sack.append((header.msg_id, header.pkt_num))
+        ack.ack_path_feedback = list(header.path_feedback)
+        ack_packet = Packet(self.stack.host.address, packet.src, ACK_SIZE,
+                            "mtp", header=ack, ecn=ECT_CAPABLE,
+                            entity=packet.entity,
+                            flow_label=(self.stack.host.address,
+                                        header.msg_id, "ack"),
+                            created_at=self.sim.now)
+        self.stack.send_packet(ack_packet)
+
+    def send_nack(self, dst_address: int, dst_port: int, msg_id: int,
+                  pkt_num: int, feedback_path=None) -> None:
+        """Ask the sender to repair one packet immediately (NDP-style)."""
+        nack = MtpHeader(KIND_ACK, self.port, dst_port, msg_id,
+                         ts=self.sim.now)
+        nack.nack.append((msg_id, pkt_num))
+        if feedback_path:
+            nack.ack_path_feedback = list(feedback_path)
+        packet = Packet(self.stack.host.address, dst_address, ACK_SIZE,
+                        "mtp", header=nack, ecn=ECT_CAPABLE,
+                        created_at=self.sim.now)
+        self.stack.send_packet(packet)
+
+    # ------------------------------------------------------------------
+    # Acknowledgement processing
+    # ------------------------------------------------------------------
+
+    def _handle_ack(self, packet: Packet, header: MtpHeader) -> None:
+        rtt = None
+        if header.ts_echo >= 0:
+            rtt = self.sim.now - header.ts_echo
+            self._update_rtt(rtt)
+        for msg_id, pkt_num in header.sack:
+            state = self._outgoing.get(msg_id)
+            if state is None:
+                continue
+            was_retransmitted = state.inflight.get(pkt_num, (0, False))[1]
+            if not state.mark_acked(pkt_num):
+                continue
+            pkt_len = state.message.packet_sizes[pkt_num]
+            path = state.charged_path.pop(pkt_num,
+                                          self.cc.path_for(state.dst_address))
+            self.cc.uncharge(path, state.message.tc, pkt_len)
+            self.cc.on_ack(state.dst_address, state.message.tc,
+                           header.ack_path_feedback, pkt_len,
+                           None if was_retransmitted else rtt, self.sim.now)
+            if state.complete:
+                self._finish_message(state)
+        for msg_id, pkt_num in header.nack:
+            state = self._outgoing.get(msg_id)
+            if state is None or pkt_num in state.acked:
+                continue
+            entry = state.inflight.pop(pkt_num, None)
+            if entry is not None:
+                path = state.charged_path.pop(
+                    pkt_num, self.cc.path_for(state.dst_address))
+                self.cc.uncharge(path, state.message.tc,
+                                 state.message.packet_sizes[pkt_num])
+            self.nack_repairs += 1
+            if header.ack_path_feedback:
+                # Trims double as congestion marks for the pathlet CC.
+                self.cc.on_ack(state.dst_address, state.message.tc,
+                               header.ack_path_feedback, 0, None,
+                               self.sim.now)
+            entry = (state.message.priority, msg_id, pkt_num)
+            if entry not in self._retx_queue:
+                self._retx_queue.append(entry)
+        self._arm_rto()
+        self._try_send()
+
+    def _finish_message(self, state: SendState) -> None:
+        state.completed_at = self.sim.now
+        self.messages_completed += 1
+        del self._outgoing[state.message.msg_id]
+        if state.on_complete is not None:
+            state.on_complete(state)
+
+    # ------------------------------------------------------------------
+    # Timeout-driven repair
+    # ------------------------------------------------------------------
+
+    @property
+    def rto_ns(self) -> int:
+        """Current retransmission timeout."""
+        if self.srtt is None:
+            return 4 * self.stack.min_rto_ns
+        return max(self.stack.min_rto_ns, self.srtt + 4 * self.rttvar)
+
+    def _update_rtt(self, sample: int) -> None:
+        if sample < 0:
+            return
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample // 2
+        else:
+            delta = abs(self.srtt - sample)
+            self.rttvar = (3 * self.rttvar + delta) // 4
+            self.srtt = (7 * self.srtt + sample) // 8
+
+    def _earliest_deadline(self) -> Optional[int]:
+        # Pop stale heap entries: the message finished, the packet was
+        # acked/requeued, or it was retransmitted at a later time.
+        while self._send_times:
+            send_time, msg_id, pkt_num = self._send_times[0]
+            state = self._outgoing.get(msg_id)
+            if state is not None:
+                entry = state.inflight.get(pkt_num)
+                if entry is not None and entry[0] == send_time:
+                    return send_time + self.rto_ns
+            heapq.heappop(self._send_times)
+        return None
+
+    def _arm_rto(self) -> None:
+        deadline = self._earliest_deadline()
+        if deadline is None:
+            self._rto_timer.stop()
+            return
+        delay = max(0, deadline - self.sim.now)
+        self._rto_timer.restart(delay)
+
+    def _on_rto(self) -> None:
+        now = self.sim.now
+        rto = self.rto_ns
+        for state in list(self._outgoing.values()):
+            expired = [pkt_num for pkt_num, (sent, _) in
+                       state.inflight.items() if now >= sent + rto]
+            current_path = self.cc.path_for(state.dst_address)
+            for pkt_num in expired:
+                state.inflight.pop(pkt_num)
+                charged = state.charged_path.pop(pkt_num, current_path)
+                self.cc.uncharge(charged, state.message.tc,
+                                 state.message.packet_sizes[pkt_num])
+                # Penalize the path we are *currently* routed on: the packet
+                # may have been charged to a pathlet the network has since
+                # switched away from, and the congestion that killed it is
+                # on the path in use now.
+                self.cc.on_loss(current_path, state.message.tc, now)
+                self._retx_queue.append(
+                    (state.message.priority, state.message.msg_id, pkt_num))
+        self._arm_rto()
+        self._try_send()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding_messages(self) -> int:
+        """Messages accepted for sending but not yet fully acknowledged."""
+        return len(self._outgoing)
+
+    def __repr__(self) -> str:
+        return (f"<MtpEndpoint port={self.port} "
+                f"out={len(self._outgoing)} in={len(self._incoming)}>")

@@ -1,0 +1,74 @@
+"""Pathlet congestion feedback: Type-Length-Value encodings.
+
+Each pathlet reports feedback as a TLV so that different resources can use
+different congestion-control signals simultaneously (Section 3.1.3 of the
+paper): an ECN bit from a DCTCP-style queue, an explicit rate from an
+RCP-style link, a delay measurement from a Swift-style end-host resource.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["Feedback", "FB_ECN", "FB_RATE", "FB_DELAY", "FB_QUEUE",
+           "FB_TRIM"]
+
+#: ECN-style binary congestion mark; value is 0.0 or 1.0.
+FB_ECN = 1
+#: Explicit rate in bits per second (RCP-style).
+FB_RATE = 2
+#: Queueing delay in nanoseconds (Swift-style).
+FB_DELAY = 3
+#: Instantaneous queue occupancy in packets.
+FB_QUEUE = 4
+#: NDP-style trim notice: the payload was dropped, header survived.
+FB_TRIM = 5
+
+_KNOWN_TYPES = (FB_ECN, FB_RATE, FB_DELAY, FB_QUEUE, FB_TRIM)
+_WIRE = struct.Struct("!BHd")  # type, length, value
+
+
+class Feedback:
+    """One TLV feedback item: ``(type, value)``.
+
+    The wire encoding is 11 bytes: type (1), length (2), value (8, float64).
+    A fixed-width value keeps parsing trivial for switches; semantic
+    interpretation is up to the end-host algorithm registered for the type.
+    """
+
+    __slots__ = ("type", "value")
+
+    WIRE_SIZE = _WIRE.size
+
+    def __init__(self, type: int, value: float):
+        if type not in _KNOWN_TYPES:
+            raise ValueError(f"unknown feedback type {type}")
+        self.type = type
+        self.value = float(value)
+
+    def encode(self) -> bytes:
+        """Serialize to the 11-byte TLV wire format."""
+        return _WIRE.pack(self.type, 8, self.value)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> "Feedback":
+        """Parse one TLV at ``offset``; raises ValueError on garbage."""
+        try:
+            type_, length, value = _WIRE.unpack_from(data, offset)
+        except struct.error as exc:
+            raise ValueError(f"truncated feedback TLV: {exc}") from exc
+        if length != 8:
+            raise ValueError(f"unsupported feedback length {length}")
+        return cls(type_, value)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Feedback) and other.type == self.type
+                and other.value == self.value)
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+    def __repr__(self) -> str:
+        names = {FB_ECN: "ECN", FB_RATE: "RATE", FB_DELAY: "DELAY",
+                 FB_QUEUE: "QUEUE", FB_TRIM: "TRIM"}
+        return f"Feedback({names[self.type]}, {self.value!r})"

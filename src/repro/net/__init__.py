@@ -1,0 +1,33 @@
+"""Network substrate: packets, queues, links, nodes, routing, topologies."""
+
+from .faults import (BlackoutProcessor, DeterministicDropProcessor,
+                     RandomDropProcessor, drop_acks_filter)
+from .link import (DEFAULT_HOST_QUEUE_CAPACITY, DEFAULT_QUEUE_CAPACITY,
+                   Link, Port)
+from .monitor import PeriodicSampler, RateMonitor
+from .node import Host, Node, PacketProcessor, ProtocolHandler, Switch
+from .packet import (DEFAULT_HEADER_BYTES, ECT_CAPABLE, ECT_CE,
+                     ECT_NOT_CAPABLE, MTU, Packet)
+from .queues import (DropTailQueue, DRRQueue, FairShareQueue,
+                     PriorityQueue, QueueDiscipline, RedQueue)
+from .routing import (AlternatingSelector, EcmpSelector, LeastQueuedSelector,
+                      PacketSpraySelector, PortSelector, stable_hash)
+from .topology import (Network, build_dumbbell, build_leaf_spine,
+                       build_proxy_chain, build_two_path)
+
+__all__ = [
+    "Packet", "MTU", "DEFAULT_HEADER_BYTES",
+    "ECT_NOT_CAPABLE", "ECT_CAPABLE", "ECT_CE",
+    "QueueDiscipline", "DropTailQueue", "DRRQueue", "FairShareQueue",
+    "PriorityQueue", "RedQueue",
+    "Port", "Link", "DEFAULT_QUEUE_CAPACITY",
+    "Node", "Host", "Switch", "PacketProcessor", "ProtocolHandler",
+    "PortSelector", "EcmpSelector", "PacketSpraySelector",
+    "AlternatingSelector", "LeastQueuedSelector", "stable_hash",
+    "Network", "build_dumbbell", "build_two_path", "build_proxy_chain",
+    "build_leaf_spine",
+    "RateMonitor", "PeriodicSampler",
+    "RandomDropProcessor", "DeterministicDropProcessor",
+    "BlackoutProcessor", "drop_acks_filter",
+    "DEFAULT_HOST_QUEUE_CAPACITY",
+]

@@ -1,0 +1,106 @@
+"""Fault injection: random loss, corruption-like drops, link flaps.
+
+Used by the failure-injection tests to verify that transports recover from
+conditions the clean topologies never produce: random in-network loss,
+bursty blackouts, and loss of specific packet kinds (ACK loss is the
+classic nasty case).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..sim.engine import Simulator
+from .link import Port
+from .node import Switch
+from .packet import Packet
+
+__all__ = ["RandomDropProcessor", "DeterministicDropProcessor",
+           "BlackoutProcessor", "drop_acks_filter"]
+
+
+def drop_acks_filter(packet: Packet) -> bool:
+    """Match pure acknowledgement packets of any transport.
+
+    Works for MTP (header kind) and TCP (no payload, ACK flag); used to
+    inject the ACK-loss failure mode.
+    """
+    header = packet.header
+    kind = getattr(header, "kind", None)
+    if kind is not None:
+        return kind == 1  # MTP KIND_ACK
+    payload_len = getattr(header, "payload_len", None)
+    flags = getattr(header, "flags", 0)
+    if payload_len is not None:
+        return payload_len == 0 and bool(flags & 0x2)
+    return False
+
+
+class RandomDropProcessor:
+    """Drops each matching packet independently with fixed probability."""
+
+    def __init__(self, probability: float, rng: random.Random,
+                 match: Optional[Callable[[Packet], bool]] = None):
+        if not 0 <= probability <= 1:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.rng = rng
+        self.match = match or (lambda packet: True)
+        self.dropped = 0
+        self.passed = 0
+
+    def process(self, packet: Packet, switch: Switch,
+                ingress: Port) -> Optional[List[Packet]]:
+        if self.match(packet) and self.rng.random() < self.probability:
+            self.dropped += 1
+            return []
+        self.passed += 1
+        return None
+
+
+class DeterministicDropProcessor:
+    """Drops every ``n``-th matching packet (reproducible loss pattern)."""
+
+    def __init__(self, every_nth: int,
+                 match: Optional[Callable[[Packet], bool]] = None):
+        if every_nth <= 0:
+            raise ValueError("every_nth must be positive")
+        self.every_nth = every_nth
+        self.match = match or (lambda packet: True)
+        self._count = 0
+        self.dropped = 0
+
+    def process(self, packet: Packet, switch: Switch,
+                ingress: Port) -> Optional[List[Packet]]:
+        if not self.match(packet):
+            return None
+        self._count += 1
+        if self._count % self.every_nth == 0:
+            self.dropped += 1
+            return []
+        return None
+
+
+class BlackoutProcessor:
+    """Drops everything during scheduled outage windows (link flaps)."""
+
+    def __init__(self, sim: Simulator, outages: List):
+        """``outages`` is a list of ``(start_ns, end_ns)`` windows."""
+        for start, end in outages:
+            if end <= start:
+                raise ValueError(f"bad outage window ({start}, {end})")
+        self.sim = sim
+        self.outages = sorted(outages)
+        self.dropped = 0
+
+    def in_outage(self, now: int) -> bool:
+        """True while ``now`` falls inside any outage window."""
+        return any(start <= now < end for start, end in self.outages)
+
+    def process(self, packet: Packet, switch: Switch,
+                ingress: Port) -> Optional[List[Packet]]:
+        if self.in_outage(self.sim.now):
+            self.dropped += 1
+            return []
+        return None

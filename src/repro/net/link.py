@@ -1,0 +1,141 @@
+"""Links and ports.
+
+A :class:`Port` is a node's attachment to one end of a link: it owns the
+egress queue and the transmitter for the outgoing direction.  A
+:class:`Link` bundles the two ports of a full-duplex connection.  Transmission
+models store-and-forward: a packet occupies the transmitter for its
+serialization time, then arrives at the peer after the propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..sim.engine import Simulator
+from ..sim.units import transmission_delay
+from .packet import Packet
+from .queues import DropTailQueue, QueueDiscipline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+__all__ = ["Port", "Link", "DEFAULT_QUEUE_CAPACITY",
+           "DEFAULT_HOST_QUEUE_CAPACITY"]
+
+#: Queue capacity used when a topology does not specify one (packets).
+DEFAULT_QUEUE_CAPACITY = 256
+
+#: Default capacity of a host's NIC queue.  Hosts don't drop their own
+#: packets — the OS applies backpressure — so this is effectively lossless;
+#: window-based transports keep it short in practice.
+DEFAULT_HOST_QUEUE_CAPACITY = 1_000_000
+
+
+class Port:
+    """One directed half of a link: egress queue plus transmitter."""
+
+    def __init__(self, sim: Simulator, node: "Node", rate_bps: int,
+                 delay_ns: int, queue: Optional[QueueDiscipline] = None,
+                 name: str = ""):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if delay_ns < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {delay_ns}")
+        self.sim = sim
+        self.node = node
+        self.rate_bps = rate_bps
+        self.delay_ns = delay_ns
+        self.queue = queue if queue is not None else DropTailQueue(
+            DEFAULT_QUEUE_CAPACITY)
+        self.name = name or f"{node.name}.port{len(node.ports)}"
+        self.peer: Optional["Node"] = None
+        self.peer_port: Optional["Port"] = None
+        self._busy = False
+        self.bytes_transmitted = 0
+        self.packets_transmitted = 0
+        self.busy_until = 0
+        #: Optional hook called with each packet as it completes serialization
+        #: (used by monitors and in-network telemetry).
+        self.on_transmit: Optional[Callable[[Packet], None]] = None
+
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission; returns False when it was dropped."""
+        if self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        accepted = self.queue.enqueue(packet, self.sim.now)
+        if accepted and not self._busy:
+            self._transmit_next()
+        return accepted
+
+    @property
+    def queue_length(self) -> int:
+        """Packets waiting in the egress queue (excludes the one on the wire)."""
+        return len(self.queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_delay = transmission_delay(packet.size, self.rate_bps)
+        self.busy_until = self.sim.now + tx_delay
+        self.sim.schedule(tx_delay, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.bytes_transmitted += packet.size
+        self.packets_transmitted += 1
+        if self.on_transmit is not None:
+            self.on_transmit(packet)
+        # Propagation: packet arrives at the peer after the link delay.
+        self.sim.schedule(self.delay_ns, self._deliver, packet)
+        self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        assert self.peer is not None and self.peer_port is not None
+        self.peer.receive(packet, self.peer_port)
+
+    def __repr__(self) -> str:
+        peer = self.peer.name if self.peer else "unconnected"
+        return f"<Port {self.name} -> {peer} q={self.queue_length}>"
+
+
+class Link:
+    """A full-duplex link: two :class:`Port` objects wired back-to-back.
+
+    With no explicit ``queue_factory``, host-side ports get a large
+    (effectively lossless) NIC queue while switch-side ports get the
+    bounded default — a host's OS backpressures rather than dropping its
+    own packets.  An explicit factory applies to both sides.
+    """
+
+    def __init__(self, sim: Simulator, a: "Node", b: "Node", rate_bps: int,
+                 delay_ns: int,
+                 queue_factory: Optional[Callable[[], QueueDiscipline]] = None,
+                 rate_bps_ba: Optional[int] = None):
+        def default_queue(node: "Node") -> QueueDiscipline:
+            from .node import Host  # local import avoids a cycle
+            if isinstance(node, Host):
+                return DropTailQueue(DEFAULT_HOST_QUEUE_CAPACITY)
+            return DropTailQueue(DEFAULT_QUEUE_CAPACITY)
+
+        factory_a = queue_factory or (lambda: default_queue(a))
+        factory_b = queue_factory or (lambda: default_queue(b))
+        self.port_a = Port(sim, a, rate_bps, delay_ns, factory_a(),
+                           name=f"{a.name}->{b.name}")
+        self.port_b = Port(sim, b, rate_bps_ba or rate_bps, delay_ns,
+                           factory_b(), name=f"{b.name}->{a.name}")
+        self.port_a.peer = b
+        self.port_a.peer_port = self.port_b
+        self.port_b.peer = a
+        self.port_b.peer_port = self.port_a
+        a.attach_port(self.port_a)
+        b.attach_port(self.port_b)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.port_a.name} / {self.port_b.name}>"

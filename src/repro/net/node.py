@@ -1,0 +1,213 @@
+"""Nodes: hosts, switches, and the packet-processor hook for offloads.
+
+Hosts terminate transports; switches forward packets and optionally run
+:class:`PacketProcessor` offloads (in-network cache, mutation, aggregation)
+that may consume, rewrite, or replace packets in flight — the in-network
+computing model of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Protocol,
+                    Sequence)
+
+from ..sim.engine import Simulator
+from ..sim.trace import Counter
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .link import Port
+    from .routing import PortSelector
+
+__all__ = ["Node", "Host", "Switch", "PacketProcessor", "ProtocolHandler"]
+
+_addresses = itertools.count(1)
+
+
+class ProtocolHandler(Protocol):
+    """Anything a host can hand received packets to (a transport endpoint)."""
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Process one packet addressed to this host."""
+
+
+class PacketProcessor(Protocol):
+    """In-network offload hook invoked by a switch for every packet.
+
+    :meth:`process` returns ``None`` to let the original packet continue,
+    an empty list to consume it, or a list of replacement packets that the
+    switch forwards instead (each routed by its own destination).
+    """
+
+    def process(self, packet: Packet, switch: "Switch",
+                ingress: "Port") -> Optional[List[Packet]]:
+        """Inspect/transform one packet."""
+
+
+class Node:
+    """Base class for anything attached to links."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.address: int = next(_addresses)
+        self.ports: List["Port"] = []
+        self.counters = Counter()
+
+    def attach_port(self, port: "Port") -> None:
+        """Register a newly created port (called by :class:`~repro.net.link.Link`)."""
+        self.ports.append(port)
+
+    def receive(self, packet: Packet, ingress: "Port") -> None:
+        """Handle a packet arriving on ``ingress``."""
+        raise NotImplementedError
+
+    def port_to(self, neighbor: "Node") -> "Port":
+        """The local port whose link leads directly to ``neighbor``."""
+        for port in self.ports:
+            if port.peer is neighbor:
+                return port
+        raise LookupError(f"{self.name} has no port to {neighbor.name}")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} addr={self.address}>"
+
+
+class Host(Node):
+    """End host: dispatches received packets to registered transports."""
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self._protocols: Dict[str, ProtocolHandler] = {}
+        self._routes: Dict[int, "Port"] = {}
+
+    def register_protocol(self, protocol: str, handler: ProtocolHandler) -> None:
+        """Attach a transport endpoint for packets labelled ``protocol``."""
+        self._protocols[protocol] = handler
+
+    def protocol(self, name: str) -> ProtocolHandler:
+        """Look up a registered transport endpoint."""
+        return self._protocols[name]
+
+    def add_route(self, dst_address: int, port: "Port") -> None:
+        """Pin traffic for ``dst_address`` to a specific port (multihomed hosts)."""
+        self._routes[dst_address] = port
+
+    def egress_port(self, dst_address: int) -> "Port":
+        """Port used to reach ``dst_address`` (defaults to the first port)."""
+        route = self._routes.get(dst_address)
+        if route is not None:
+            return route
+        if not self.ports:
+            raise RuntimeError(f"host {self.name} has no ports")
+        return self.ports[0]
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit ``packet`` out of the appropriate port."""
+        self.counters.add("tx_packets")
+        self.counters.add("tx_bytes", packet.size)
+        return self.egress_port(packet.dst).send(packet)
+
+    def receive(self, packet: Packet, ingress: "Port") -> None:
+        if packet.dst != self.address:
+            self.counters.add("misrouted")
+            return
+        self.counters.add("rx_packets")
+        self.counters.add("rx_bytes", packet.size)
+        handler = self._protocols.get(packet.protocol)
+        if handler is None:
+            self.counters.add("no_protocol")
+            return
+        handler.handle_packet(packet)
+
+
+class Switch(Node):
+    """Output-queued switch with pluggable path selection and offload hooks."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 selector: Optional["PortSelector"] = None):
+        super().__init__(sim, name)
+        self._table: Dict[int, List["Port"]] = {}
+        self.selector = selector
+        self.processors: List[PacketProcessor] = []
+        self.record_hops = False
+        #: Optional map from a port to its pathlet id; when set, the switch
+        #: honours MTP path-exclude lists by filtering candidate ports.
+        self.pathlet_lookup = None  # type: Optional[Callable[[Port], int]]
+
+    def add_route(self, dst_address: int, ports: Sequence["Port"]) -> None:
+        """Install candidate egress ports for a destination address."""
+        if not ports:
+            raise ValueError("route needs at least one port")
+        self._table[dst_address] = list(ports)
+
+    def add_processor(self, processor: PacketProcessor) -> None:
+        """Attach an in-network offload; processors run in attach order."""
+        self.processors.append(processor)
+
+    def candidate_ports(self, dst_address: int) -> List["Port"]:
+        """Candidate egress ports for ``dst_address`` (raises if unroutable)."""
+        try:
+            return self._table[dst_address]
+        except KeyError:
+            raise LookupError(
+                f"{self.name} has no route to address {dst_address}") from None
+
+    def receive(self, packet: Packet, ingress: "Port") -> None:
+        self.counters.add("rx_packets")
+        if self.record_hops:
+            packet.hops.append(self.name)
+        packets: List[Packet] = [packet]
+        for processor in self.processors:
+            next_packets: List[Packet] = []
+            for current in packets:
+                result = processor.process(current, self, ingress)
+                if result is None:
+                    next_packets.append(current)
+                else:
+                    next_packets.extend(result)
+            packets = next_packets
+            if not packets:
+                self.counters.add("consumed")
+                return
+        for current in packets:
+            self.forward(current)
+
+    def forward(self, packet: Packet) -> None:
+        """Route one packet to an egress port and enqueue it."""
+        try:
+            candidates = self.candidate_ports(packet.dst)
+        except LookupError:
+            self.counters.add("no_route")
+            return
+        candidates = self._honour_exclusions(packet, candidates)
+        if len(candidates) == 1 or self.selector is None:
+            port = candidates[0]
+        else:
+            port = self.selector.select(packet, candidates, self.sim.now)
+        if port.send(packet):
+            self.counters.add("forwarded")
+        else:
+            self.counters.add("dropped")
+
+    def _honour_exclusions(self, packet: Packet,
+                           candidates: List["Port"]) -> List["Port"]:
+        """Filter out ports whose pathlet the sender asked to avoid.
+
+        Only applies when a pathlet lookup is configured and the packet's
+        header carries a non-empty exclude list; if every candidate is
+        excluded, the original set is used (the network must still deliver).
+        """
+        if self.pathlet_lookup is None or len(candidates) <= 1:
+            return candidates
+        excluded = getattr(packet.header, "path_exclude", None)
+        if not excluded:
+            return candidates
+        excluded_ids = {path_id for path_id, _tc in excluded}
+        allowed = [port for port in candidates
+                   if self.pathlet_lookup(port) not in excluded_ids]
+        if allowed:
+            self.counters.add("exclusions_honoured")
+            return allowed
+        return candidates

@@ -1,0 +1,105 @@
+"""Path selection strategies for multipath switches.
+
+The paper's experiments exercise four selection policies: ECMP flow hashing,
+per-packet spraying, a periodically alternating first-hop (the "optical
+switch" of Figure 5), and a message-aware least-loaded balancer (the
+MTP-enabled load balancer of Figure 6, in :mod:`repro.offloads.lb`).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .link import Port
+
+__all__ = ["PortSelector", "EcmpSelector", "PacketSpraySelector",
+           "AlternatingSelector", "LeastQueuedSelector", "stable_hash"]
+
+
+def stable_hash(value: object) -> int:
+    """Deterministic, process-independent hash (crc32 of the repr)."""
+    return zlib.crc32(repr(value).encode())
+
+
+class PortSelector(Protocol):
+    """Strategy choosing an egress port among equal-cost candidates."""
+
+    def select(self, packet: Packet, candidates: Sequence["Port"],
+               now: int) -> "Port":
+        """Pick one of ``candidates`` for ``packet`` at virtual time ``now``."""
+
+
+class EcmpSelector:
+    """Classic ECMP: hash the flow label, pin the flow to one path.
+
+    All packets of a flow take the same path (no reordering), but large
+    flows can collide on one path while others idle — the imbalance the
+    Figure-6 experiment shows.
+    """
+
+    def __init__(self, salt: int = 0):
+        self.salt = salt
+
+    def select(self, packet: Packet, candidates: Sequence["Port"],
+               now: int) -> "Port":
+        index = (stable_hash(packet.flow_label) ^ self.salt) % len(candidates)
+        return candidates[index]
+
+
+class PacketSpraySelector:
+    """Per-packet spraying: balance perfectly, reorder freely.
+
+    ``mode`` is "round_robin" (deterministic) or "random".
+    """
+
+    def __init__(self, mode: str = "round_robin",
+                 rng: random.Random = None):  # type: ignore[assignment]
+        if mode not in ("round_robin", "random"):
+            raise ValueError(f"unknown spray mode {mode!r}")
+        self.mode = mode
+        self.rng = rng if rng is not None else random.Random(0)
+        self._counter = 0
+
+    def select(self, packet: Packet, candidates: Sequence["Port"],
+               now: int) -> "Port":
+        if self.mode == "random":
+            return self.rng.choice(list(candidates))
+        port = candidates[self._counter % len(candidates)]
+        self._counter += 1
+        return port
+
+
+class AlternatingSelector:
+    """Rotate through candidate ports on a fixed period.
+
+    Models the optical/reconfigurable first-hop switch of the Figure-5
+    experiment: *all* traffic uses candidate ``(now // period) % n``, so the
+    path in use flips every ``period_ns`` regardless of flows.
+    """
+
+    def __init__(self, period_ns: int, offset_ns: int = 0):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.period_ns = period_ns
+        self.offset_ns = offset_ns
+
+    def active_index(self, now: int, n_candidates: int) -> int:
+        """Index of the path in use at virtual time ``now``."""
+        return ((now + self.offset_ns) // self.period_ns) % n_candidates
+
+    def select(self, packet: Packet, candidates: Sequence["Port"],
+               now: int) -> "Port":
+        return candidates[self.active_index(now, len(candidates))]
+
+
+class LeastQueuedSelector:
+    """Send each packet to the port with the smallest queued backlog."""
+
+    def select(self, packet: Packet, candidates: Sequence["Port"],
+               now: int) -> "Port":
+        return min(candidates, key=lambda port: port.queue.bytes_queued)

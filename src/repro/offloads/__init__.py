@@ -1,0 +1,26 @@
+"""In-network computing offloads: proxy, LBs, cache, mutation, aggregation."""
+
+from .aggregation import AggregatedChunk, AggregationOffload, GradientChunk
+from .cache import InNetworkCache
+from .gateway import GATEWAY_MTP_PORT, BridgeChunk, TcpMtpGateway
+from .injection import inject_message, spoof_ack
+from .inspection import InspectionOffload
+from .l7lb import L7LoadBalancer, Replica
+from .lb import MessageAwareSelector
+from .mutation import (CompressedPayload, MutatingOffload, compressor,
+                       decompressor)
+from .proxy import ProxySession, TcpProxy
+from .trimming import TRIMMED_PACKET_SIZE, TrimmingQueue
+
+__all__ = [
+    "TcpProxy", "ProxySession",
+    "MessageAwareSelector",
+    "L7LoadBalancer", "Replica",
+    "InNetworkCache",
+    "MutatingOffload", "CompressedPayload", "compressor", "decompressor",
+    "AggregationOffload", "GradientChunk", "AggregatedChunk",
+    "TrimmingQueue", "TRIMMED_PACKET_SIZE",
+    "InspectionOffload",
+    "TcpMtpGateway", "BridgeChunk", "GATEWAY_MTP_PORT",
+    "inject_message", "spoof_ack",
+]

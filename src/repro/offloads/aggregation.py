@@ -1,0 +1,138 @@
+"""In-network gradient aggregation (ATP-style, Section 4).
+
+Workers send per-round gradient chunks as independent single-packet
+messages; the switch sums chunks across workers and forwards one aggregated
+message per (round, chunk) to the parameter server — an N-to-1 reduction in
+both traffic and server work.  MTP makes this tractable because each chunk
+message is self-describing and independently acknowledgeable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.header import KIND_DATA, MtpHeader
+from ..net.link import Port
+from ..net.node import Switch
+from ..net.packet import Packet
+from ..sim.engine import Simulator
+from .injection import inject_message, spoof_ack
+
+__all__ = ["GradientChunk", "AggregatedChunk", "AggregationOffload"]
+
+
+class GradientChunk:
+    """One worker's contribution for (round, chunk)."""
+
+    __slots__ = ("round_id", "chunk_id", "worker_id", "values", "reply_port")
+
+    def __init__(self, round_id: int, chunk_id: int, worker_id: int,
+                 values: Sequence[float], reply_port: int = 0):
+        self.round_id = round_id
+        self.chunk_id = chunk_id
+        self.worker_id = worker_id
+        self.values = list(values)
+        self.reply_port = reply_port
+
+    def __repr__(self) -> str:
+        return (f"<GradientChunk r{self.round_id} c{self.chunk_id} "
+                f"w{self.worker_id}>")
+
+
+class AggregatedChunk:
+    """The switch's sum over all workers for (round, chunk)."""
+
+    __slots__ = ("round_id", "chunk_id", "values", "n_workers")
+
+    def __init__(self, round_id: int, chunk_id: int,
+                 values: Sequence[float], n_workers: int):
+        self.round_id = round_id
+        self.chunk_id = chunk_id
+        self.values = list(values)
+        self.n_workers = n_workers
+
+    def __repr__(self) -> str:
+        return (f"<AggregatedChunk r{self.round_id} c{self.chunk_id} "
+                f"x{self.n_workers}>")
+
+
+class AggregationOffload:
+    """Sums gradient chunk messages from ``n_workers`` before forwarding.
+
+    Args:
+        sim: simulator.
+        service_port: parameter-server port to interpose on.
+        n_workers: contributions needed per (round, chunk).
+        ps_address / ps_port: where aggregated chunks are sent.
+        reduce_fn: elementwise reduction (default: sum).
+        slot_budget: max concurrently open (round, chunk) slots; beyond it
+            new chunks pass through unaggregated (bounded switch state).
+    """
+
+    def __init__(self, sim: Simulator, service_port: int, n_workers: int,
+                 ps_address: int, ps_port: int,
+                 reduce_fn: Optional[Callable] = None,
+                 slot_budget: int = 1024):
+        if n_workers <= 0:
+            raise ValueError("need at least one worker")
+        self.sim = sim
+        self.service_port = service_port
+        self.n_workers = n_workers
+        self.ps_address = ps_address
+        self.ps_port = ps_port
+        self.reduce_fn = reduce_fn or (lambda a, b: a + b)
+        self.slot_budget = slot_budget
+        #: (round, chunk) -> {"values": [...], "workers": set()}
+        self._slots: Dict[Tuple[int, int], Dict] = {}
+        self.chunks_absorbed = 0
+        self.chunks_emitted = 0
+        self.chunks_passed_through = 0
+
+    def process(self, packet: Packet, switch: Switch,
+                ingress: Port) -> Optional[List[Packet]]:
+        """Absorb gradient chunks; emit the sum when all workers reported."""
+        if packet.protocol != "mtp":
+            return None
+        header = packet.header
+        if not isinstance(header, MtpHeader) or header.kind != KIND_DATA:
+            return None
+        if header.dst_port != self.service_port:
+            return None
+        chunk = header.payload
+        if not isinstance(chunk, GradientChunk) or header.msg_len_pkts != 1:
+            return None
+        key = (chunk.round_id, chunk.chunk_id)
+        slot = self._slots.get(key)
+        if slot is None:
+            if len(self._slots) >= self.slot_budget:
+                self.chunks_passed_through += 1
+                return None
+            slot = {"values": list(chunk.values), "workers": set(),
+                    "size": packet.size}
+            self._slots[key] = slot
+        elif chunk.worker_id not in slot["workers"]:
+            slot["values"] = [self.reduce_fn(a, b) for a, b in
+                              zip(slot["values"], chunk.values)]
+        if chunk.worker_id in slot["workers"]:
+            # Duplicate (retransmission): just re-ACK, don't double count.
+            spoof_ack(switch, packet, header)
+            return []
+        slot["workers"].add(chunk.worker_id)
+        self.chunks_absorbed += 1
+        spoof_ack(switch, packet, header)
+        if len(slot["workers"]) == self.n_workers:
+            del self._slots[key]
+            aggregated = AggregatedChunk(chunk.round_id, chunk.chunk_id,
+                                         slot["values"], self.n_workers)
+            inject_message(switch, src_address=packet.src,
+                           dst_address=self.ps_address,
+                           src_port=header.src_port, dst_port=self.ps_port,
+                           size=header.msg_len_bytes, payload=aggregated,
+                           tc=packet.entity)
+            self.chunks_emitted += 1
+        return []
+
+    @property
+    def open_slots(self) -> int:
+        """(round, chunk) aggregations currently in progress."""
+        return len(self._slots)

@@ -1,0 +1,6 @@
+"""Network-side policy enforcement: per-entity isolation."""
+
+from .isolation import (ISOLATION_MODES, TrafficClassMap,
+                        isolation_queue_factory)
+
+__all__ = ["TrafficClassMap", "isolation_queue_factory", "ISOLATION_MODES"]

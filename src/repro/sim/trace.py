@@ -1,0 +1,67 @@
+"""Lightweight tracing and counters for simulation components.
+
+Components publish named scalar samples to a :class:`TraceRecorder`; the
+experiment harness reads them back as time series.  Recording is opt-in per
+channel so hot paths pay one dict lookup when tracing is off.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["TraceRecorder", "Counter"]
+
+
+class TraceRecorder:
+    """Collects ``(time_ns, value)`` samples per named channel."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._channels: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
+
+    def record(self, channel: str, time_ns: int, value: float) -> None:
+        """Append a sample to ``channel`` (no-op while disabled)."""
+        if self.enabled:
+            self._channels[channel].append((time_ns, value))
+
+    def samples(self, channel: str) -> List[Tuple[int, float]]:
+        """All samples recorded on ``channel`` (empty list if none)."""
+        return self._channels.get(channel, [])
+
+    def channels(self) -> Iterable[str]:
+        """Names of all channels that have at least one sample."""
+        return self._channels.keys()
+
+    def clear(self) -> None:
+        """Drop all recorded samples."""
+        self._channels.clear()
+
+    def last(self, channel: str, default: float = 0.0) -> float:
+        """Most recent value on ``channel``, or ``default`` when empty."""
+        samples = self._channels.get(channel)
+        return samples[-1][1] if samples else default
+
+
+class Counter:
+    """A named bundle of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._values.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return f"Counter({dict(self._values)!r})"

@@ -1,0 +1,130 @@
+"""Metrics: percentiles, fairness, and flow/message completion collection."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["percentile", "jain_fairness", "FctCollector", "summarize",
+           "cdf_points"]
+
+
+def cdf_points(values: Sequence[float],
+               n_points: int = 100) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``(value, fraction <= value)`` points for plotting."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    if n_points >= n:
+        return [(value, (index + 1) / n)
+                for index, value in enumerate(ordered)]
+    points = []
+    for step in range(1, n_points + 1):
+        index = min(n - 1, round(step * n / n_points) - 1)
+        points.append((ordered[index], (index + 1) / n))
+    return points
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile (linear interpolation, pct in [0, 100])."""
+    if not values:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = pct / 100 * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def jain_fairness(shares: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal, 1/n = one taker.
+
+    Defined as ``(sum x)^2 / (n * sum x^2)``.
+    """
+    if not shares:
+        raise ValueError("need at least one share")
+    total = sum(shares)
+    squares = sum(share * share for share in shares)
+    if squares == 0:
+        return 1.0  # all zero: trivially equal
+    return total * total / (len(shares) * squares)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p95 / p99 / max of a sample set."""
+    if not values:
+        return {"count": 0}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }
+
+
+class FctCollector:
+    """Collects message/flow completion records for FCT-style analysis.
+
+    Records are ``(size_bytes, completion_ns, tag)``; queries slice by tag
+    and size range.  This backs the Figure-6 tail-FCT comparison.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[Tuple[int, int, str]] = []
+
+    def record(self, size_bytes: int, completion_ns: int,
+               tag: str = "") -> None:
+        """Add one completion."""
+        if completion_ns < 0:
+            raise ValueError("completion time must be non-negative")
+        self._records.append((size_bytes, completion_ns, tag))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def completions(self, tag: Optional[str] = None,
+                    min_size: int = 0,
+                    max_size: Optional[int] = None) -> List[int]:
+        """Completion times filtered by tag and size range."""
+        return [fct for size, fct, record_tag in self._records
+                if (tag is None or record_tag == tag)
+                and size >= min_size
+                and (max_size is None or size <= max_size)]
+
+    def tail(self, pct: float = 99.0, tag: Optional[str] = None,
+             min_size: int = 0, max_size: Optional[int] = None) -> float:
+        """Tail completion time (default p99) over the selected records."""
+        return percentile(self.completions(tag, min_size, max_size), pct)
+
+    def slowdowns(self, ideal_ns_per_byte: float,
+                  tag: Optional[str] = None) -> List[float]:
+        """FCT normalized by an idealized transfer time per byte."""
+        return [fct / max(1.0, size * ideal_ns_per_byte)
+                for size, fct, record_tag in self._records
+                if tag is None or record_tag == tag]
+
+    def by_size_buckets(self, bounds: Iterable[int],
+                        tag: Optional[str] = None
+                        ) -> Dict[str, Dict[str, float]]:
+        """Summaries per size bucket; ``bounds`` are ascending upper edges."""
+        result: Dict[str, Dict[str, float]] = {}
+        previous = 0
+        for bound in list(bounds) + [None]:
+            label = (f"({previous}, {bound}]" if bound is not None
+                     else f"({previous}, inf)")
+            values = self.completions(tag, min_size=previous + 1,
+                                      max_size=bound)
+            if values:
+                result[label] = summarize(values)
+            previous = bound if bound is not None else previous
+        return result

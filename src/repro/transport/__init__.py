@@ -1,0 +1,21 @@
+"""Baseline transports: TCP (NewReno/DCTCP/Swift), MPTCP, and UDP."""
+
+from .base import ConnectionCallbacks, TransportStack
+from .mptcp import MptcpConnection, MptcpStack
+from .quic import QuicConnection, QuicStack, QuicStream
+from .rdma import (RDMA_MAX_UD_PAYLOAD, RcQueuePair, RdmaStack, UcQueuePair,
+                   UdQueuePair)
+from .tcp import (FLAG_ACK, FLAG_FIN, FLAG_SYN, TcpConnection, TcpHeader,
+                  TcpStack)
+from .udp import UdpHeader, UdpSocket, UdpStack
+
+__all__ = [
+    "TransportStack", "ConnectionCallbacks",
+    "TcpStack", "TcpConnection", "TcpHeader",
+    "FLAG_SYN", "FLAG_ACK", "FLAG_FIN",
+    "MptcpStack", "MptcpConnection",
+    "QuicStack", "QuicConnection", "QuicStream",
+    "RdmaStack", "RcQueuePair", "UcQueuePair", "UdQueuePair",
+    "RDMA_MAX_UD_PAYLOAD",
+    "UdpStack", "UdpSocket", "UdpHeader",
+]

@@ -1,0 +1,57 @@
+"""Transport-layer interfaces shared by TCP, UDP, and MTP endpoints.
+
+A *stack* registers with a host under a protocol name and demultiplexes
+received packets to its connections/endpoints.  Applications interact with
+connections through small callback interfaces; payload content is not
+modelled for stream transports (only byte counts), while MTP messages may
+carry an opaque payload object for in-network offloads to inspect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net.node import Host
+from ..net.packet import Packet
+from ..sim.engine import Simulator
+
+__all__ = ["TransportStack", "ConnectionCallbacks"]
+
+
+class ConnectionCallbacks:
+    """Application-side callbacks for a stream connection.
+
+    Subclass or assign the attributes directly; all hooks default to no-ops.
+
+    Attributes:
+        on_connected: called once the connection is established.
+        on_data: called with the number of newly delivered in-order bytes.
+        on_close: called when the peer closes the connection.
+    """
+
+    def __init__(self,
+                 on_connected: Optional[Callable] = None,
+                 on_data: Optional[Callable] = None,
+                 on_close: Optional[Callable] = None):
+        self.on_connected = on_connected or (lambda conn: None)
+        self.on_data = on_data or (lambda conn, nbytes: None)
+        self.on_close = on_close or (lambda conn: None)
+
+
+class TransportStack:
+    """Base class for per-host transport stacks."""
+
+    protocol_name = "base"
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.sim: Simulator = host.sim
+        host.register_protocol(self.protocol_name, self)
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Dispatch a received packet (implemented by subclasses)."""
+        raise NotImplementedError
+
+    def send_packet(self, packet: Packet) -> bool:
+        """Hand a packet to the host's network layer."""
+        return self.host.send(packet)

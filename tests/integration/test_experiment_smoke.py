@@ -1,0 +1,119 @@
+"""Smoke tests: every experiment driver runs end to end at tiny scale.
+
+The benchmarks run the full configurations; these keep the drivers honest
+inside the fast test suite (wiring, result objects, edge cases).
+"""
+
+import pytest
+
+from repro.experiments import (Fig2Config, Fig3Config, Fig5Config,
+                               Fig6Config, Fig7Config, compare_fig2,
+                               run_fig3, run_fig5, run_fig6, run_fig7,
+                               render_paper_table, run_probes)
+from repro.sim import milliseconds
+
+
+class TestFig2Driver:
+    def test_modes_and_metrics(self):
+        results = compare_fig2(Fig2Config(duration_ns=milliseconds(0.5)),
+                               limited_buffer_bytes=64 * 1024)
+        unlimited, limited = results["unlimited"], results["limited"]
+        assert unlimited.peak_buffer_bytes > limited.peak_buffer_bytes
+        assert unlimited.buffer_growth_bps() > 0
+        assert "unlimited" in unlimited.mode
+        assert "limited" in limited.mode
+
+
+class TestFig3Driver:
+    def test_modes(self):
+        config = Fig3Config(duration_ns=milliseconds(1), concurrency=4)
+        per_message = run_fig3("per_message", config)
+        persistent = run_fig3("persistent", config)
+        assert per_message.messages_completed > 0
+        assert persistent.mean_throughput_bps > 0
+        assert per_message.series  # dense series produced
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run_fig3("bogus")
+
+
+class TestFig5Driver:
+    @pytest.mark.parametrize("protocol", ["dctcp", "mtp", "mptcp"])
+    def test_protocols(self, protocol):
+        config = Fig5Config(duration_ns=milliseconds(1.5))
+        result = run_fig5(protocol, config)
+        assert result.mean_goodput_bps > 0
+        assert result.protocol == protocol
+
+    def test_pathlet_modes(self):
+        for mode in ("per_link", "single"):
+            config = Fig5Config(duration_ns=milliseconds(1),
+                                pathlet_mode=mode)
+            assert run_fig5("mtp", config).mean_goodput_bps > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fig5Config(pathlet_mode="nope")
+        with pytest.raises(ValueError):
+            Fig5Config(mtp_feedback="nope")
+        with pytest.raises(ValueError):
+            run_fig5("carrier-pigeon")
+
+
+class TestFig6Driver:
+    @pytest.mark.parametrize("system", ["ecmp", "spray", "mtp_lb"])
+    def test_systems(self, system):
+        config = Fig6Config(duration_ns=milliseconds(2),
+                            max_message_bytes=200_000)
+        result = run_fig6(system, config)
+        assert result.messages_completed > 0
+        assert result.p99_fct_ns() > 0
+
+    def test_arrival_rate_scales_with_load(self):
+        low = Fig6Config(offered_load=0.2).arrival_rate_per_sec()
+        high = Fig6Config(offered_load=0.8).arrival_rate_per_sec()
+        assert high == pytest.approx(4 * low)
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            run_fig6("wishful-thinking")
+
+
+class TestFig7Driver:
+    @pytest.mark.parametrize("system", ["shared", "separate", "fair_share"])
+    def test_systems(self, system):
+        config = Fig7Config(duration_ns=milliseconds(1.2),
+                            warmup_ns=milliseconds(0.3))
+        result = run_fig7(system, config)
+        assert set(result.tenant_goodput_bps) == {"tenant1", "tenant2"}
+        assert 0 < result.fairness <= 1.0
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            run_fig7("anarchy")
+
+
+class TestTable1Driver:
+    def test_render_contains_all_rows(self):
+        table = render_paper_table()
+        for row in ("MTP (this work)", "DCTCP", "RDMA UD", "QUIC"):
+            assert row in table
+
+    def test_probes_all_pass(self):
+        assert all(run_probes().values())
+
+
+class TestCliRunner:
+    def test_cli_quick_subset(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--quick", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "MTP (this work)" in out
+        assert "PASS" in out
+        assert "CONFIRMED" in out  # baseline counterexamples ran too
+
+    def test_cli_rejects_unknown_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["figNaN"])

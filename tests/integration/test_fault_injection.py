@@ -1,0 +1,140 @@
+"""Failure injection: transports must survive random loss, ACK loss, and
+blackouts."""
+
+import pytest
+
+from repro.core import MtpStack
+from repro.net import (BlackoutProcessor, DeterministicDropProcessor,
+                       DropTailQueue, Network, RandomDropProcessor,
+                       drop_acks_filter)
+from repro.sim import (SeedSequence, Simulator, gbps, microseconds,
+                       milliseconds)
+from repro.transport import ConnectionCallbacks, TcpStack
+
+
+def switched_pair(sim):
+    net = Network(sim)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    sw = net.add_switch("sw")
+    queue = lambda: DropTailQueue(128, 20)
+    net.connect(a, sw, gbps(10), microseconds(2), queue_factory=queue)
+    net.connect(sw, b, gbps(10), microseconds(2), queue_factory=queue)
+    net.install_routes()
+    return net, a, b, sw
+
+
+class TestMtpUnderFaults:
+    @pytest.mark.parametrize("loss", [0.01, 0.05, 0.2])
+    def test_random_loss(self, sim, seeds, loss):
+        net, a, b, sw = switched_pair(sim)
+        dropper = RandomDropProcessor(loss, seeds.stream("loss"))
+        sw.add_processor(dropper)
+        inbox = []
+        MtpStack(b).endpoint(port=100,
+                             on_message=lambda ep, msg: inbox.append(msg))
+        sender = MtpStack(a).endpoint()
+        for _ in range(20):
+            sender.send_message(b.address, 100, 20_000)
+        sim.run(until=milliseconds(500))
+        assert len(inbox) == 20
+        assert dropper.dropped > 0
+        assert sender.retransmissions >= dropper.dropped / 2
+
+    def test_ack_loss_only(self, sim, seeds):
+        net, a, b, sw = switched_pair(sim)
+        sw.add_processor(RandomDropProcessor(0.3, seeds.stream("ackloss"),
+                                             match=drop_acks_filter))
+        done = []
+        MtpStack(b).endpoint(port=100)
+        sender = MtpStack(a).endpoint()
+        for _ in range(10):
+            sender.send_message(b.address, 100, 10_000,
+                                on_complete=done.append)
+        sim.run(until=milliseconds(500))
+        assert len(done) == 10  # lost ACKs only cost retransmissions
+
+    def test_every_nth_packet_dropped(self, sim):
+        net, a, b, sw = switched_pair(sim)
+        dropper = DeterministicDropProcessor(every_nth=7)
+        sw.add_processor(dropper)
+        inbox = []
+        MtpStack(b).endpoint(port=100,
+                             on_message=lambda ep, msg: inbox.append(msg))
+        MtpStack(a).endpoint().send_message(b.address, 100, 100_000)
+        sim.run(until=milliseconds(500))
+        assert len(inbox) == 1
+        assert dropper.dropped > 0
+
+    def test_blackout_recovery(self, sim):
+        net, a, b, sw = switched_pair(sim)
+        blackout = BlackoutProcessor(
+            sim, [(microseconds(10), microseconds(300))])
+        sw.add_processor(blackout)
+        inbox = []
+        MtpStack(b).endpoint(port=100,
+                             on_message=lambda ep, msg: inbox.append(msg))
+        sender = MtpStack(a).endpoint()
+        sender.send_message(b.address, 100, 200_000)
+        sim.run(until=milliseconds(500))
+        assert blackout.dropped > 0
+        assert len(inbox) == 1
+
+
+class TestTcpUnderFaults:
+    @pytest.mark.parametrize("loss", [0.01, 0.05])
+    def test_random_loss(self, sim, seeds, loss):
+        net, a, b, sw = switched_pair(sim)
+        sw.add_processor(RandomDropProcessor(loss, seeds.stream("tcploss")))
+        received = [0]
+        stack_b = TcpStack(b)
+        stack_b.listen(80, lambda conn: ConnectionCallbacks(
+            on_data=lambda c, n: received.__setitem__(0, received[0] + n)))
+        stack_a = TcpStack(a)
+        stack_a.connect(b.address, 80, ConnectionCallbacks(
+            on_connected=lambda c: (c.send(500_000), c.close())))
+        sim.run(until=milliseconds(800))
+        assert received[0] == 500_000
+
+    def test_blackout_recovery(self, sim):
+        net, a, b, sw = switched_pair(sim)
+        sw.add_processor(BlackoutProcessor(
+            sim, [(microseconds(100), microseconds(900))]))
+        received = [0]
+        TcpStack(b).listen(80, lambda conn: ConnectionCallbacks(
+            on_data=lambda c, n: received.__setitem__(0, received[0] + n)))
+        TcpStack(a).connect(b.address, 80, ConnectionCallbacks(
+            on_connected=lambda c: c.send(100_000)))
+        sim.run(until=milliseconds(800))
+        assert received[0] == 100_000
+
+    def test_handshake_through_loss(self, sim, seeds):
+        net, a, b, sw = switched_pair(sim)
+        sw.add_processor(RandomDropProcessor(0.4, seeds.stream("syn")))
+        established = []
+        TcpStack(b).listen(80, lambda conn: ConnectionCallbacks())
+        TcpStack(a).connect(b.address, 80, ConnectionCallbacks(
+            on_connected=lambda c: established.append(c)))
+        sim.run(until=milliseconds(2000))
+        assert established  # SYN retries eventually get through
+
+
+class TestFaultValidation:
+    def test_bad_probability(self, seeds):
+        with pytest.raises(ValueError):
+            RandomDropProcessor(1.5, seeds.stream("x"))
+
+    def test_bad_nth(self):
+        with pytest.raises(ValueError):
+            DeterministicDropProcessor(0)
+
+    def test_bad_window(self, sim):
+        with pytest.raises(ValueError):
+            BlackoutProcessor(sim, [(100, 100)])
+
+    def test_in_outage(self, sim):
+        blackout = BlackoutProcessor(sim, [(10, 20), (30, 40)])
+        assert blackout.in_outage(15)
+        assert not blackout.in_outage(25)
+        assert blackout.in_outage(30)
+        assert not blackout.in_outage(40)

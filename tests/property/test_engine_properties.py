@@ -1,0 +1,86 @@
+"""Property tests: event-kernel ordering and cancellation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+#: Operations: ("schedule", delay) or ("cancel", index of earlier schedule).
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"),
+                  st.integers(min_value=0, max_value=10_000)),
+        st.tuples(st.just("cancel"),
+                  st.integers(min_value=0, max_value=100))),
+    min_size=1, max_size=60)
+
+
+@given(operations)
+@settings(max_examples=300)
+def test_events_fire_in_nondecreasing_time_order(ops):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for op in ops:
+        if op[0] == "schedule":
+            delay = op[1]
+            handles.append(
+                sim.schedule(delay, lambda d=delay: fired.append(d)))
+        elif handles:
+            handles[op[1] % len(handles)].cancel()
+    sim.run()
+    assert fired == sorted(fired)
+
+
+@given(operations)
+@settings(max_examples=300)
+def test_cancelled_events_never_fire(ops):
+    sim = Simulator()
+    fired = []
+    handles = []
+    cancelled = set()
+    for op in ops:
+        if op[0] == "schedule":
+            index = len(handles)
+            handles.append(
+                sim.schedule(op[1], lambda i=index: fired.append(i)))
+        elif handles:
+            index = op[1] % len(handles)
+            handles[index].cancel()
+            cancelled.add(index)
+    sim.run()
+    assert not (set(fired) & cancelled)
+    assert set(fired) | cancelled == set(range(len(handles)))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=40),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=200)
+def test_bounded_run_is_exact(delays, boundary):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run(until=boundary)
+    assert all(delay <= boundary for delay in fired)
+    assert sorted(fired) == sorted(d for d in delays if d <= boundary)
+    sim.run()
+    assert sorted(fired) == sorted(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=30))
+@settings(max_examples=200)
+def test_same_tick_fifo_order(ticks):
+    sim = Simulator()
+    fired = []
+    for index, tick in enumerate(ticks):
+        sim.schedule(tick, lambda i=index: fired.append(i))
+    sim.run()
+    # Within one tick, scheduling order is preserved.
+    by_tick = {}
+    for index in fired:
+        by_tick.setdefault(ticks[index], []).append(index)
+    for indices in by_tick.values():
+        assert indices == sorted(indices)

@@ -1,0 +1,65 @@
+"""Property tests: gateway bridged-stream reordering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offloads.gateway import BridgeChunk, _BridgedStream
+
+
+@st.composite
+def chunk_sequences(draw):
+    """A valid chunk partition of a stream, plus an arrival permutation."""
+    n_chunks = draw(st.integers(min_value=1, max_value=30))
+    lengths = draw(st.lists(st.integers(min_value=1, max_value=5000),
+                            min_size=n_chunks, max_size=n_chunks))
+    chunks = []
+    offset = 0
+    for index, length in enumerate(lengths):
+        chunks.append(BridgeChunk(1, "fwd", offset, length,
+                                  fin=index == n_chunks - 1))
+        offset += length
+    order = draw(st.permutations(range(n_chunks)))
+    return chunks, order
+
+
+@given(chunk_sequences())
+@settings(max_examples=300)
+def test_any_arrival_order_releases_all_bytes(data):
+    chunks, order = data
+    stream = _BridgedStream()
+    total_released = 0
+    fin_seen = False
+    for index in order:
+        released, fin = stream.add(chunks[index])
+        total_released += released
+        fin_seen = fin_seen or fin
+    assert total_released == sum(chunk.length for chunk in chunks)
+    assert fin_seen
+
+
+@given(chunk_sequences())
+@settings(max_examples=300)
+def test_release_is_prefix_ordered(data):
+    chunks, order = data
+    stream = _BridgedStream()
+    for index in order:
+        stream.add(chunks[index])
+        # next_offset only ever covers a contiguous prefix.
+        assert all(offset >= stream.next_offset
+                   for offset in stream.pending)
+
+
+@given(chunk_sequences())
+@settings(max_examples=200)
+def test_fin_only_after_everything_before_it(data):
+    chunks, order = data
+    stream = _BridgedStream()
+    released_before_fin = 0
+    for index in order:
+        released, fin = stream.add(chunks[index])
+        if fin:
+            # FIN can only be released once every earlier byte was.
+            assert stream.next_offset == sum(chunk.length
+                                             for chunk in chunks)
+        else:
+            released_before_fin += released

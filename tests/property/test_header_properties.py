@@ -1,0 +1,87 @@
+"""Property tests: MTP header wire format round-trips for any contents."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (FB_DELAY, FB_ECN, FB_QUEUE, FB_RATE, FB_TRIM,
+                        Feedback, KIND_ACK, KIND_DATA, MtpHeader)
+
+ports = st.integers(min_value=0, max_value=65535)
+msg_ids = st.integers(min_value=0, max_value=2 ** 63 - 1)
+pkt_counts = st.integers(min_value=0, max_value=2 ** 32 - 1)
+byte_counts = st.integers(min_value=0, max_value=2 ** 63 - 1)
+priorities = st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1)
+tcs = st.integers(min_value=0, max_value=255)
+pathlet_ids = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+feedback_values = st.floats(allow_nan=False, allow_infinity=False,
+                            width=64)
+feedbacks = st.builds(Feedback,
+                      st.sampled_from([FB_ECN, FB_RATE, FB_DELAY, FB_QUEUE,
+                                       FB_TRIM]),
+                      feedback_values)
+
+exclude_entries = st.tuples(pathlet_ids, tcs)
+feedback_entries = st.tuples(pathlet_ids, tcs, feedbacks)
+sack_entries = st.tuples(msg_ids, pkt_counts)
+
+
+@st.composite
+def headers(draw):
+    header = MtpHeader(
+        kind=draw(st.sampled_from([KIND_DATA, KIND_ACK])),
+        src_port=draw(ports), dst_port=draw(ports),
+        msg_id=draw(msg_ids), priority=draw(priorities),
+        msg_len_bytes=draw(byte_counts), msg_len_pkts=draw(pkt_counts),
+        pkt_num=draw(pkt_counts), pkt_offset=draw(byte_counts),
+        pkt_len=draw(st.integers(min_value=0, max_value=2 ** 32 - 1)))
+    header.path_exclude = draw(st.lists(exclude_entries, max_size=8))
+    header.path_feedback = draw(st.lists(feedback_entries, max_size=8))
+    header.ack_path_feedback = draw(st.lists(feedback_entries, max_size=8))
+    header.sack = draw(st.lists(sack_entries, max_size=8))
+    header.nack = draw(st.lists(sack_entries, max_size=8))
+    return header
+
+
+@given(headers())
+@settings(max_examples=300)
+def test_serialize_parse_roundtrip(header):
+    parsed = MtpHeader.parse(header.serialize())
+    assert parsed.kind == header.kind
+    assert parsed.src_port == header.src_port
+    assert parsed.dst_port == header.dst_port
+    assert parsed.msg_id == header.msg_id
+    assert parsed.priority == header.priority
+    assert parsed.msg_len_bytes == header.msg_len_bytes
+    assert parsed.msg_len_pkts == header.msg_len_pkts
+    assert parsed.pkt_num == header.pkt_num
+    assert parsed.pkt_offset == header.pkt_offset
+    assert parsed.pkt_len == header.pkt_len
+    assert parsed.path_exclude == header.path_exclude
+    assert parsed.path_feedback == header.path_feedback
+    assert parsed.ack_path_feedback == header.ack_path_feedback
+    assert parsed.sack == header.sack
+    assert parsed.nack == header.nack
+
+
+@given(headers())
+@settings(max_examples=300)
+def test_wire_size_matches_serialization(header):
+    assert header.wire_size() == len(header.serialize())
+
+
+@given(headers(), st.integers(min_value=0, max_value=40))
+@settings(max_examples=200)
+def test_truncation_never_crashes(header, cut):
+    data = header.serialize()
+    if cut >= len(data):
+        return
+    try:
+        MtpHeader.parse(data[:cut])
+    except ValueError:
+        pass  # the only acceptable failure mode
+
+
+@given(feedbacks)
+def test_feedback_roundtrip(feedback):
+    assert Feedback.decode(feedback.encode()) == feedback

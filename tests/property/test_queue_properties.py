@@ -1,0 +1,116 @@
+"""Property tests: queue disciplines conserve packets and enforce policy."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (DropTailQueue, DRRQueue, FairShareQueue, Packet)
+
+entities = st.sampled_from(["a", "b", "c"])
+packet_sizes = st.integers(min_value=64, max_value=1500)
+
+#: An operation stream: ("enq", entity, size) or ("deq",).
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), entities, packet_sizes),
+        st.tuples(st.just("deq"))),
+    min_size=1, max_size=200)
+
+
+def apply_ops(queue, ops):
+    """Run an op stream; returns (offered, dequeued_packets)."""
+    offered = 0
+    out = []
+    for op in ops:
+        if op[0] == "enq":
+            _, entity, size = op
+            offered += 1
+            queue.enqueue(Packet(1, 2, size, "t", entity=entity, ecn=1), 0)
+        else:
+            packet = queue.dequeue(0)
+            if packet is not None:
+                out.append(packet)
+    return offered, out
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_droptail_conservation(ops):
+    queue = DropTailQueue(capacity=16, ecn_threshold=4)
+    offered, out = apply_ops(queue, ops)
+    assert queue.packets_enqueued + queue.packets_dropped == offered
+    assert queue.packets_dequeued == len(out)
+    assert queue.packets_enqueued - queue.packets_dequeued == len(queue)
+    assert len(queue) <= 16
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_droptail_byte_accounting(ops):
+    queue = DropTailQueue(capacity=16)
+    apply_ops(queue, ops)
+    drained = 0
+    while True:
+        packet = queue.dequeue(0)
+        if packet is None:
+            break
+        drained += packet.size
+    assert queue.bytes_queued == 0
+    assert drained >= 0
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_drr_conservation(ops):
+    queue = DRRQueue(per_class_capacity=8)
+    offered, out = apply_ops(queue, ops)
+    assert queue.packets_enqueued + queue.packets_dropped == offered
+    assert queue.packets_enqueued - queue.packets_dequeued == len(queue)
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_drr_no_per_class_overflow(ops):
+    queue = DRRQueue(per_class_capacity=8)
+    apply_ops(queue, ops)
+    for entity in ("a", "b", "c"):
+        assert queue.queue_length(entity) <= 8
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_fair_share_conservation(ops):
+    queue = FairShareQueue(capacity=16)
+    offered, out = apply_ops(queue, ops)
+    assert queue.packets_enqueued + queue.packets_dropped == offered
+    assert queue.packets_enqueued - queue.packets_dequeued == len(queue)
+    assert len(queue) <= 16
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_fair_share_entity_counts_consistent(ops):
+    queue = FairShareQueue(capacity=16)
+    apply_ops(queue, ops)
+    total = sum(queue.queue_length(entity) for entity in ("a", "b", "c"))
+    assert total == len(queue)
+    # Drain fully: all per-entity accounting returns to zero.
+    while queue.dequeue(0) is not None:
+        pass
+    assert queue.active_entities() == 0
+
+
+@given(st.lists(st.tuples(entities, packet_sizes), min_size=1,
+                max_size=300))
+@settings(max_examples=100)
+def test_drr_service_is_fair_in_bytes(arrivals):
+    """When several classes stay backlogged, served bytes stay balanced."""
+    queue = DRRQueue(per_class_capacity=1000, quantum=1500)
+    # Keep every class heavily backlogged.
+    for entity in ("a", "b"):
+        for _ in range(100):
+            queue.enqueue(Packet(1, 2, 1000, "t", entity=entity), 0)
+    served = {"a": 0, "b": 0}
+    for _ in range(60):
+        packet = queue.dequeue(0)
+        served[packet.entity] += packet.size
+    assert abs(served["a"] - served["b"]) <= 2 * 1500

@@ -1,0 +1,69 @@
+"""Property tests: TCP receiver SACK-range generation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network
+from repro.sim import Simulator, gbps
+from repro.transport import ConnectionCallbacks, TcpStack
+
+#: Arbitrary out-of-order segment maps: seq -> length.
+ooo_maps = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=10_000),
+    values=st.integers(min_value=1, max_value=1460),
+    min_size=0, max_size=30)
+
+
+def make_receiver():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.connect(a, b, gbps(1), 0)
+    net.install_routes()
+    stack_b = TcpStack(b)
+    conns = []
+
+    def accept(conn):
+        conns.append(conn)
+        return ConnectionCallbacks()
+
+    stack_b.listen(80, accept)
+    TcpStack(a).connect(b.address, 80)
+    sim.run()
+    return conns[0]
+
+
+@given(ooo_maps)
+@settings(max_examples=200, deadline=None)
+def test_ranges_sorted_and_disjoint(ooo):
+    receiver = make_receiver()
+    receiver._ooo = dict(ooo)
+    ranges = receiver._sack_ranges(max_blocks=100)
+    for (start, end) in ranges:
+        assert start < end
+    for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+        assert start_b > end_a  # strictly increasing, disjoint
+
+
+@given(ooo_maps)
+@settings(max_examples=200, deadline=None)
+def test_every_ooo_byte_is_covered(ooo):
+    receiver = make_receiver()
+    receiver._ooo = dict(ooo)
+    ranges = receiver._sack_ranges(max_blocks=10 ** 6)
+
+    def covered(position):
+        return any(start <= position < end for start, end in ranges)
+
+    for seq, length in ooo.items():
+        assert covered(seq)
+        assert covered(seq + length - 1)
+
+
+@given(ooo_maps)
+@settings(max_examples=100, deadline=None)
+def test_block_cap_respected(ooo):
+    receiver = make_receiver()
+    receiver._ooo = dict(ooo)
+    assert len(receiver._sack_ranges(max_blocks=4)) <= 4

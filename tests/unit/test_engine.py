@@ -1,0 +1,157 @@
+"""Event kernel: ordering, cancellation, timers, bounded runs."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, Timer
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_tick_fifo(self, sim):
+        order = []
+        for tag in range(5):
+            sim.schedule(10, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+
+        def outer():
+            seen.append(sim.now)
+            sim.schedule(5, inner)
+
+        def inner():
+            seen.append(sim.now)
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == [10, 15]
+
+    def test_rejects_negative_delay(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_rejects_past_absolute_time(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(50, lambda: None)
+
+    def test_events_executed_counter(self, sim):
+        for _ in range(7):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(10, fired.append, 1)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_property(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        assert handle.pending
+        handle.cancel()
+        assert not handle.pending
+
+
+class TestBoundedRuns:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(10, fired.append, "early")
+        sim.schedule(100, fired.append, "late")
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == 50
+
+    def test_later_events_survive_bounded_run(self, sim):
+        fired = []
+        sim.schedule(100, fired.append, "late")
+        sim.run(until=50)
+        sim.run()
+        assert fired == ["late"]
+
+    def test_run_for_composes(self, sim):
+        sim.run_for(10)
+        sim.run_for(10)
+        assert sim.now == 20
+
+    def test_stop_halts_loop(self, sim):
+        fired = []
+        sim.schedule(1, sim.stop)
+        sim.schedule(2, fired.append, "never")
+        sim.run()
+        assert fired == []
+        assert sim.pending_events() == 1
+
+    def test_peek_time_skips_cancelled(self, sim):
+        handle = sim.schedule(5, lambda: None)
+        sim.schedule(9, lambda: None)
+        handle.cancel()
+        assert sim.peek_time() == 9
+
+    def test_peek_time_empty(self, sim):
+        assert sim.peek_time() is None
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(25)
+        sim.run()
+        assert fired == [25]
+        assert not timer.running
+
+    def test_restart_pushes_expiry_out(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(25)
+        sim.schedule(10, timer.restart, 25)
+        sim.run()
+        assert fired == [35]
+
+    def test_stop_prevents_fire(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(25)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_double_start_rejected(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(5)
+        with pytest.raises(SimulationError):
+            timer.start(5)
+
+    def test_expiry_time(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert timer.expiry_time is None
+        timer.start(30)
+        assert timer.expiry_time == 30

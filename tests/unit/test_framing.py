@@ -1,0 +1,83 @@
+"""Message framing bookkeeping over a byte stream."""
+
+import pytest
+
+from repro.apps import TcpMessageFraming
+
+
+class FakeConn:
+    def __init__(self):
+        self.sent = 0
+
+    def send(self, nbytes):
+        self.sent += nbytes
+
+
+class TestFraming:
+    def test_messages_complete_in_order(self):
+        completed = []
+        framing = TcpMessageFraming(
+            on_message=lambda fr, size, tag: completed.append(tag))
+        framing.bind_sender(FakeConn())
+        framing.send_message(100, "a")
+        framing.send_message(200, "b")
+        framing.on_data(None, 100)
+        assert completed == ["a"]
+        framing.on_data(None, 200)
+        assert completed == ["a", "b"]
+
+    def test_partial_delivery_holds_message(self):
+        completed = []
+        framing = TcpMessageFraming(
+            on_message=lambda fr, size, tag: completed.append(size))
+        framing.bind_sender(FakeConn())
+        framing.send_message(1000)
+        framing.on_data(None, 999)
+        assert completed == []
+        assert framing.pending_messages == 1
+        framing.on_data(None, 1)
+        assert completed == [1000]
+        assert framing.pending_messages == 0
+
+    def test_one_chunk_completes_many(self):
+        completed = []
+        framing = TcpMessageFraming(
+            on_message=lambda fr, size, tag: completed.append(size))
+        framing.bind_sender(FakeConn())
+        for _ in range(3):
+            framing.send_message(10)
+        framing.on_data(None, 30)
+        assert completed == [10, 10, 10]
+
+    def test_head_of_line_blocking_semantics(self):
+        """Bytes of message 2 arriving 'early' cannot complete it — the
+        stream has no way to reorder."""
+        completed = []
+        framing = TcpMessageFraming(
+            on_message=lambda fr, size, tag: completed.append(tag))
+        framing.bind_sender(FakeConn())
+        framing.send_message(1000, "elephant")
+        framing.send_message(10, "mouse")
+        # 999 of the elephant's bytes in: neither message is complete —
+        # the mouse is stuck behind the elephant's tail.
+        framing.on_data(None, 500)
+        framing.on_data(None, 499)
+        assert completed == []
+        framing.on_data(None, 11)
+        assert completed == ["elephant", "mouse"]
+
+    def test_send_delegates_to_connection(self):
+        conn = FakeConn()
+        framing = TcpMessageFraming()
+        framing.bind_sender(conn)
+        framing.send_message(4096)
+        assert conn.sent == 4096
+        assert framing.messages_sent == 1
+
+    def test_validation(self):
+        framing = TcpMessageFraming()
+        with pytest.raises(RuntimeError):
+            framing.send_message(10)
+        framing.bind_sender(FakeConn())
+        with pytest.raises(ValueError):
+            framing.send_message(0)

@@ -1,0 +1,111 @@
+"""MTP header: wire format round-trips and overhead accounting."""
+
+import pytest
+
+from repro.core import (FB_DELAY, FB_ECN, FB_RATE, FIXED_HEADER_BYTES,
+                        Feedback, KIND_ACK, KIND_DATA, MtpHeader)
+
+
+def full_header():
+    header = MtpHeader(KIND_DATA, src_port=7, dst_port=9, msg_id=42,
+                       priority=3, msg_len_bytes=100_000, msg_len_pkts=69,
+                       pkt_num=5, pkt_offset=7300, pkt_len=1460)
+    header.path_exclude = [(11, 0), (12, 1)]
+    header.path_feedback = [(21, 0, Feedback(FB_ECN, 1.0)),
+                            (22, 1, Feedback(FB_RATE, 5e9))]
+    header.ack_path_feedback = [(21, 0, Feedback(FB_DELAY, 1500.0))]
+    header.sack = [(42, 5), (42, 6)]
+    header.nack = [(42, 3)]
+    return header
+
+
+class TestRoundTrip:
+    def test_minimal_header(self):
+        header = MtpHeader(KIND_DATA, 1, 2, 3, msg_len_bytes=10,
+                           msg_len_pkts=1, pkt_len=10)
+        parsed = MtpHeader.parse(header.serialize())
+        assert parsed.msg_id == 3
+        assert parsed.msg_len_bytes == 10
+        assert parsed.pkt_len == 10
+        assert parsed.path_feedback == []
+
+    def test_full_header_fields(self):
+        header = full_header()
+        parsed = MtpHeader.parse(header.serialize())
+        assert parsed.kind == KIND_DATA
+        assert parsed.src_port == 7
+        assert parsed.dst_port == 9
+        assert parsed.msg_id == 42
+        assert parsed.priority == 3
+        assert parsed.msg_len_bytes == 100_000
+        assert parsed.msg_len_pkts == 69
+        assert parsed.pkt_num == 5
+        assert parsed.pkt_offset == 7300
+        assert parsed.pkt_len == 1460
+
+    def test_full_header_lists(self):
+        header = full_header()
+        parsed = MtpHeader.parse(header.serialize())
+        assert parsed.path_exclude == [(11, 0), (12, 1)]
+        assert parsed.path_feedback == header.path_feedback
+        assert parsed.ack_path_feedback == header.ack_path_feedback
+        assert parsed.sack == [(42, 5), (42, 6)]
+        assert parsed.nack == [(42, 3)]
+
+    def test_negative_priority_roundtrips(self):
+        header = MtpHeader(KIND_ACK, 1, 2, 3, priority=-5)
+        assert MtpHeader.parse(header.serialize()).priority == -5
+
+    def test_truncated_raises(self):
+        data = full_header().serialize()
+        with pytest.raises(ValueError):
+            MtpHeader.parse(data[:10])
+        with pytest.raises(ValueError):
+            MtpHeader.parse(data[:FIXED_HEADER_BYTES + 3])
+
+
+class TestWireSize:
+    def test_fixed_size_matches_serialization(self):
+        header = MtpHeader(KIND_DATA, 1, 2, 3)
+        assert header.wire_size() == len(header.serialize())
+        assert header.wire_size() == FIXED_HEADER_BYTES
+
+    def test_lists_grow_wire_size(self):
+        header = full_header()
+        assert header.wire_size() == len(header.serialize())
+        assert header.wire_size() > FIXED_HEADER_BYTES
+
+    def test_feedback_grows_header_beyond_tcp(self):
+        # Section 4: MTP headers can exceed TCP's 40-60B; quantify it.
+        header = MtpHeader(KIND_DATA, 1, 2, 3)
+        for path_id in range(4):
+            header.path_feedback.append((path_id, 0, Feedback(FB_ECN, 0.0)))
+        assert header.wire_size() > 60
+
+
+class TestHelpers:
+    def test_is_last_packet(self):
+        header = MtpHeader(KIND_DATA, 1, 2, 3, msg_len_pkts=3, pkt_num=2)
+        assert header.is_last_packet
+        header.pkt_num = 1
+        assert not header.is_last_packet
+
+    def test_path_ids_data_vs_ack(self):
+        header = full_header()
+        assert header.path_ids() == [21, 22]
+        header.kind = KIND_ACK
+        assert header.path_ids() == [21]
+
+
+class TestFeedback:
+    def test_roundtrip(self):
+        feedback = Feedback(FB_RATE, 12.5e9)
+        assert Feedback.decode(feedback.encode()) == feedback
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            Feedback(99, 1.0)
+
+    def test_decode_garbage(self):
+        with pytest.raises(ValueError):
+            Feedback.decode(b"\x01\x00")

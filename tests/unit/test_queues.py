@@ -1,0 +1,172 @@
+"""Queue disciplines: drop-tail/ECN, DRR fairness, fair-share policing."""
+
+import pytest
+
+from repro.net import (ECT_CAPABLE, DropTailQueue, DRRQueue, FairShareQueue,
+                       Packet)
+
+
+def make_packet(entity="t1", size=1500, ecn=ECT_CAPABLE):
+    return Packet(src=1, dst=2, size=size, protocol="test",
+                  entity=entity, ecn=ecn)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity=10)
+        packets = [make_packet() for _ in range(3)]
+        for packet in packets:
+            assert queue.enqueue(packet, now=0)
+        out = [queue.dequeue(0) for _ in range(3)]
+        assert out == packets
+
+    def test_drops_at_capacity(self):
+        queue = DropTailQueue(capacity=2)
+        assert queue.enqueue(make_packet(), 0)
+        assert queue.enqueue(make_packet(), 0)
+        assert not queue.enqueue(make_packet(), 0)
+        assert queue.packets_dropped == 1
+
+    def test_ecn_marks_above_threshold(self):
+        queue = DropTailQueue(capacity=10, ecn_threshold=2)
+        first, second, third = (make_packet() for _ in range(3))
+        queue.enqueue(first, 0)
+        queue.enqueue(second, 0)
+        queue.enqueue(third, 0)
+        assert not first.marked
+        assert not second.marked
+        assert third.marked
+        assert queue.ecn_marked == 1
+
+    def test_no_marking_without_ecn_capability(self):
+        queue = DropTailQueue(capacity=10, ecn_threshold=0)
+        packet = make_packet(ecn=0)
+        queue.enqueue(packet, 0)
+        assert not packet.marked
+
+    def test_byte_accounting(self):
+        queue = DropTailQueue(capacity=10)
+        queue.enqueue(make_packet(size=1000), 0)
+        queue.enqueue(make_packet(size=500), 0)
+        assert queue.bytes_queued == 1500
+        queue.dequeue(0)
+        assert queue.bytes_queued == 500
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue(capacity=1).dequeue(0) is None
+
+    def test_conservation_invariant(self):
+        queue = DropTailQueue(capacity=3)
+        offered = 6
+        for _ in range(offered):
+            queue.enqueue(make_packet(), 0)
+        assert queue.packets_enqueued + queue.packets_dropped == offered
+        drained = 0
+        while queue.dequeue(0) is not None:
+            drained += 1
+        assert queue.packets_enqueued == queue.packets_dequeued
+        assert drained == 3
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity=0)
+
+
+class TestDRR:
+    def test_equal_service_despite_unequal_offers(self):
+        queue = DRRQueue(per_class_capacity=100, quantum=1500)
+        for _ in range(50):
+            queue.enqueue(make_packet(entity="heavy"), 0)
+        for _ in range(10):
+            queue.enqueue(make_packet(entity="light"), 0)
+        served = {"heavy": 0, "light": 0}
+        for _ in range(20):
+            packet = queue.dequeue(0)
+            served[packet.entity] += 1
+        assert served == {"heavy": 10, "light": 10}
+
+    def test_work_conserving_when_one_class_empty(self):
+        queue = DRRQueue(per_class_capacity=100)
+        for _ in range(5):
+            queue.enqueue(make_packet(entity="only"), 0)
+        out = [queue.dequeue(0) for _ in range(5)]
+        assert all(packet.entity == "only" for packet in out)
+        assert queue.dequeue(0) is None
+
+    def test_per_class_capacity_enforced(self):
+        queue = DRRQueue(per_class_capacity=2)
+        assert queue.enqueue(make_packet(entity="a"), 0)
+        assert queue.enqueue(make_packet(entity="a"), 0)
+        assert not queue.enqueue(make_packet(entity="a"), 0)
+        assert queue.enqueue(make_packet(entity="b"), 0)
+
+    def test_variable_packet_sizes_fair_in_bytes(self):
+        queue = DRRQueue(per_class_capacity=1000, quantum=1000)
+        for _ in range(40):
+            queue.enqueue(make_packet(entity="big", size=1500), 0)
+        for _ in range(40):
+            queue.enqueue(make_packet(entity="small", size=500), 0)
+        served_bytes = {"big": 0, "small": 0}
+        for _ in range(40):
+            packet = queue.dequeue(0)
+            served_bytes[packet.entity] += packet.size
+        ratio = served_bytes["big"] / served_bytes["small"]
+        assert 0.7 < ratio < 1.4
+
+    def test_queue_length_per_entity(self):
+        queue = DRRQueue(per_class_capacity=10)
+        queue.enqueue(make_packet(entity="a"), 0)
+        queue.enqueue(make_packet(entity="a"), 0)
+        assert queue.queue_length("a") == 2
+        assert queue.queue_length("missing") == 0
+
+
+class TestFairShare:
+    def test_heavy_entity_hits_share_cap(self):
+        queue = FairShareQueue(capacity=20, burst_factor=1.0)
+        accepted = {"heavy": 0, "light": 0}
+        # Interleave so both entities stay active.
+        for _ in range(30):
+            if queue.enqueue(make_packet(entity="heavy"), 0):
+                accepted["heavy"] += 1
+            if queue.enqueue(make_packet(entity="light"), 0):
+                accepted["light"] += 1
+        assert accepted["heavy"] <= 11
+        assert accepted["light"] >= 9
+
+    def test_single_entity_uses_full_buffer(self):
+        queue = FairShareQueue(capacity=10, burst_factor=1.0)
+        accepted = sum(queue.enqueue(make_packet(entity="solo"), 0)
+                       for _ in range(15))
+        assert accepted == 10
+
+    def test_marks_over_share_packets(self):
+        queue = FairShareQueue(capacity=8, burst_factor=2.0)
+        queue.enqueue(make_packet(entity="other"), 0)
+        packets = [make_packet(entity="greedy") for _ in range(6)]
+        for packet in packets:
+            queue.enqueue(packet, 0)
+        assert any(packet.marked for packet in packets)
+
+    def test_fifo_departure_order(self):
+        queue = FairShareQueue(capacity=10)
+        first = make_packet(entity="a")
+        second = make_packet(entity="b")
+        queue.enqueue(first, 0)
+        queue.enqueue(second, 0)
+        assert queue.dequeue(0) is first
+        assert queue.dequeue(0) is second
+
+    def test_entity_accounting_returns_to_zero(self):
+        queue = FairShareQueue(capacity=10)
+        queue.enqueue(make_packet(entity="a"), 0)
+        queue.dequeue(0)
+        assert queue.active_entities() == 0
+        assert queue.queue_length("a") == 0
+
+    def test_fair_share_value(self):
+        queue = FairShareQueue(capacity=12)
+        assert queue.fair_share() == 12
+        queue.enqueue(make_packet(entity="a"), 0)
+        queue.enqueue(make_packet(entity="b"), 0)
+        assert queue.fair_share() == 6

@@ -1,0 +1,148 @@
+"""RED queue, closed-loop load generator, and CDF helper units."""
+
+import random
+
+import pytest
+
+from repro.apps import ClosedLoopLoad
+from repro.core import MtpStack
+from repro.net import (ECT_CAPABLE, DropTailQueue, Network, Packet,
+                       RedQueue)
+from repro.sim import Simulator, gbps, microseconds, milliseconds
+from repro.stats import cdf_points
+
+
+def make_packet(ecn=ECT_CAPABLE):
+    return Packet(1, 2, 1500, "t", ecn=ecn)
+
+
+class TestRedQueue:
+    def test_below_min_threshold_clean(self):
+        queue = RedQueue(capacity=100, min_threshold=20, max_threshold=60)
+        for _ in range(10):
+            assert queue.enqueue(make_packet(), 0)
+        assert queue.ecn_marked == 0
+        assert queue.red_dropped == 0
+
+    def test_marks_between_thresholds(self):
+        queue = RedQueue(capacity=100, min_threshold=5, max_threshold=20,
+                         max_probability=1.0, weight=1.0)
+        packets = [make_packet() for _ in range(30)]
+        for packet in packets:
+            queue.enqueue(packet, 0)
+        assert queue.ecn_marked > 0
+
+    def test_drops_when_not_ecn_capable(self):
+        queue = RedQueue(capacity=100, min_threshold=2, max_threshold=4,
+                         max_probability=1.0, weight=1.0)
+        accepted = sum(queue.enqueue(make_packet(ecn=0), 0)
+                       for _ in range(30))
+        assert queue.red_dropped > 0
+        assert accepted < 30
+
+    def test_avg_queue_smoothing(self):
+        queue = RedQueue(capacity=100, min_threshold=50, max_threshold=90,
+                         weight=0.1)
+        for _ in range(10):
+            queue.enqueue(make_packet(), 0)
+        # EWMA lags the instantaneous length.
+        assert queue.avg_queue < len(queue)
+
+    def test_hard_capacity(self):
+        queue = RedQueue(capacity=5, min_threshold=4, max_threshold=5)
+        for _ in range(10):
+            queue.enqueue(make_packet(), 0)
+        assert len(queue) <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RedQueue(capacity=10, min_threshold=0, max_threshold=5)
+        with pytest.raises(ValueError):
+            RedQueue(capacity=10, min_threshold=6, max_threshold=5)
+        with pytest.raises(ValueError):
+            RedQueue(capacity=10, min_threshold=2, max_threshold=20)
+
+
+class TestClosedLoop:
+    def build(self, sim, **kwargs):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, gbps(10), microseconds(5),
+                    queue_factory=lambda: DropTailQueue(128, 20))
+        net.install_routes()
+        MtpStack(b).endpoint(port=100)
+        sender = MtpStack(a).endpoint()
+
+        def issue(done):
+            sender.send_message(b.address, 100, 2000,
+                                on_complete=lambda state: done())
+
+        return ClosedLoopLoad(sim, issue, **kwargs)
+
+    def test_fixed_concurrency(self, sim):
+        load = self.build(sim, concurrency=4)
+        load.start()
+        sim.run(until=milliseconds(2))
+        assert load.outstanding <= 4
+        assert load.completed > 10
+
+    def test_max_requests(self, sim):
+        load = self.build(sim, concurrency=2, max_requests=10)
+        load.start()
+        sim.run(until=milliseconds(20))
+        assert load.issued == 10
+        assert load.completed == 10
+
+    def test_think_time_slows_rate(self, sim):
+        fast = self.build(sim, concurrency=1)
+        fast.start()
+        sim.run(until=milliseconds(2))
+        slow_sim = Simulator()
+        slow = self.build(slow_sim, concurrency=1,
+                          think_time_ns=microseconds(200))
+        slow.start()
+        slow_sim.run(until=milliseconds(2))
+        assert slow.completed < fast.completed
+
+    def test_latencies_recorded(self, sim):
+        load = self.build(sim, concurrency=1, max_requests=5)
+        load.start()
+        sim.run(until=milliseconds(20))
+        assert len(load.latencies_ns) == 5
+        assert all(latency > 0 for latency in load.latencies_ns)
+
+    def test_stop(self, sim):
+        load = self.build(sim, concurrency=2)
+        load.start()
+        sim.schedule(microseconds(200), load.stop)
+        sim.run(until=milliseconds(5))
+        issued_at_stop = load.issued
+        assert load.completed <= issued_at_stop
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            self.build(sim, concurrency=0)
+        with pytest.raises(ValueError):
+            self.build(sim, think_time_ns=-1)
+
+
+class TestCdfPoints:
+    def test_small_sample_exact(self):
+        points = cdf_points([3, 1, 2])
+        assert points == [(1, pytest.approx(1 / 3)),
+                          (2, pytest.approx(2 / 3)), (3, 1.0)]
+
+    def test_monotone(self):
+        rng = random.Random(1)
+        values = [rng.random() for _ in range(1000)]
+        points = cdf_points(values, n_points=50)
+        assert len(points) == 50
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_empty(self):
+        assert cdf_points([]) == []

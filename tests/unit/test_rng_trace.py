@@ -1,0 +1,83 @@
+"""Seed sequences and trace recorders."""
+
+from repro.sim import Counter, SeedSequence, TraceRecorder
+
+
+class TestSeedSequence:
+    def test_same_name_same_stream(self):
+        seeds = SeedSequence(7)
+        assert seeds.stream("a") is seeds.stream("a")
+
+    def test_different_names_different_draws(self):
+        seeds = SeedSequence(7)
+        a = [seeds.stream("a").random() for _ in range(5)]
+        b = [seeds.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        first = SeedSequence(7).stream("workload").random()
+        second = SeedSequence(7).stream("workload").random()
+        assert first == second
+
+    def test_root_seed_changes_streams(self):
+        first = SeedSequence(1).stream("x").random()
+        second = SeedSequence(2).stream("x").random()
+        assert first != second
+
+    def test_spawn_independent(self):
+        seeds = SeedSequence(7)
+        child_a = seeds.spawn("tenant-a").stream("workload").random()
+        child_b = seeds.spawn("tenant-b").stream("workload").random()
+        assert child_a != child_b
+
+
+class TestTraceRecorder:
+    def test_records_samples(self):
+        trace = TraceRecorder()
+        trace.record("q", 10, 1.0)
+        trace.record("q", 20, 2.0)
+        assert trace.samples("q") == [(10, 1.0), (20, 2.0)]
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record("q", 10, 1.0)
+        assert trace.samples("q") == []
+
+    def test_last_value(self):
+        trace = TraceRecorder()
+        assert trace.last("q", default=-1.0) == -1.0
+        trace.record("q", 10, 3.0)
+        assert trace.last("q") == 3.0
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record("q", 10, 1.0)
+        trace.clear()
+        assert list(trace.channels()) == []
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("rx")
+        counter.add("rx", 4)
+        assert counter.get("rx") == 5
+
+    def test_missing_is_zero(self):
+        assert Counter().get("nope") == 0
+
+    def test_rejects_negative(self):
+        counter = Counter()
+        try:
+            counter.add("x", -1)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_as_dict_snapshot(self):
+        counter = Counter()
+        counter.add("a", 2)
+        snapshot = counter.as_dict()
+        counter.add("a")
+        assert snapshot == {"a": 2}

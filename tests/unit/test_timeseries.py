@@ -1,0 +1,82 @@
+"""Time-series helpers: smoothing, resampling, convergence metrics."""
+
+import pytest
+
+from repro.stats import (convergence_times, moving_average, phase_slices,
+                         resample, time_weighted_mean)
+
+
+class TestMovingAverage:
+    def test_smooths(self):
+        series = [(0, 0.0), (1, 10.0), (2, 0.0), (3, 10.0)]
+        smoothed = moving_average(series, window=2)
+        assert smoothed[-1] == (3, 5.0)
+
+    def test_window_one_is_identity(self):
+        series = [(0, 1.0), (1, 2.0)]
+        assert moving_average(series, 1) == series
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([], 0)
+
+
+class TestResample:
+    def test_bins_average(self):
+        series = [(0, 2.0), (5, 4.0), (10, 6.0)]
+        assert resample(series, 10) == [(0, 3.0), (10, 6.0)]
+
+    def test_empty(self):
+        assert resample([], 10) == []
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            resample([(0, 1.0)], 0)
+
+
+class TestTimeWeightedMean:
+    def test_step_function(self):
+        # 10 for 1 unit, then 20 for 3 units.
+        series = [(0, 10.0), (1, 20.0)]
+        assert time_weighted_mean(series, end_ns=4) == pytest.approx(17.5)
+
+    def test_single_sample(self):
+        assert time_weighted_mean([(5, 3.0)]) == 3.0
+
+    def test_empty(self):
+        assert time_weighted_mean([]) == 0.0
+
+
+class TestPhases:
+    def test_slicing(self):
+        series = [(0, 1.0), (50, 2.0), (100, 3.0), (150, 4.0)]
+        phases = phase_slices(series, period_ns=100)
+        assert phases == [[(0, 1.0), (50, 2.0)], [(100, 3.0), (150, 4.0)]]
+
+    def test_start_offset(self):
+        series = [(0, 1.0), (100, 2.0)]
+        phases = phase_slices(series, 100, start_ns=100)
+        assert phases == [[(100, 2.0)]]
+
+
+class TestConvergence:
+    def test_immediate_convergence(self):
+        series = [(0, 10.0), (10, 10.0), (100, 10.0), (110, 10.0)]
+        times = convergence_times(series, period_ns=100)
+        assert times == [0, 0]
+
+    def test_slow_ramp(self):
+        # Phase plateau 10; crosses 8 at t=60.
+        series = [(0, 1.0), (20, 3.0), (40, 6.0), (60, 9.0), (80, 10.0)]
+        times = convergence_times(series, period_ns=100,
+                                  target_fraction=0.8)
+        assert times == [60]
+
+    def test_never_converges_is_none(self):
+        # A phase of all zeros has no positive plateau.
+        series = [(0, 0.0), (50, 0.0)]
+        assert convergence_times(series, 100) == [None]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            convergence_times([(0, 1.0)], 100, target_fraction=0.0)

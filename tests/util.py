@@ -1,0 +1,62 @@
+"""Shared helpers for integration tests and benchmarks."""
+
+from repro.net import DropTailQueue, Network
+from repro.sim import Simulator, gbps, microseconds
+from repro.transport import ConnectionCallbacks, TcpStack
+
+
+class TransferApp:
+    """Sender/receiver application pair bookkeeping for one TCP transfer."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.connected_at = None
+        self.received = 0
+        self.closed_at = None
+        self.delivery_times = []
+
+    def receiver_callbacks(self):
+        def on_data(conn, nbytes):
+            self.received += nbytes
+            self.delivery_times.append(self.sim.now)
+
+        def on_close(conn):
+            self.closed_at = self.sim.now
+
+        return ConnectionCallbacks(on_data=on_data, on_close=on_close)
+
+    def sender_callbacks(self, send_bytes, close=True):
+        def on_connected(conn):
+            self.connected_at = self.sim.now
+            conn.send(send_bytes)
+            if close:
+                conn.close()
+
+        return ConnectionCallbacks(on_connected=on_connected)
+
+
+def tcp_pair(sim, rate=gbps(10), delay=microseconds(5), queue_capacity=256,
+             ecn_threshold=None, **listen_options):
+    """Two hosts with TCP stacks over one link; server listens on port 80."""
+    net = Network(sim)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.connect(a, b, rate, delay,
+                queue_factory=lambda: DropTailQueue(queue_capacity,
+                                                    ecn_threshold))
+    net.install_routes()
+    stack_a = TcpStack(a)
+    stack_b = TcpStack(b)
+    return net, a, b, stack_a, stack_b
+
+
+def run_transfer(sim, stack_a, stack_b, b_address, nbytes,
+                 variant="reno", until=None, **conn_options):
+    """Drive a single transfer from a to b; returns the TransferApp."""
+    app = TransferApp(sim)
+    stack_b.listen(80, lambda conn: app.receiver_callbacks(),
+                   variant=variant, **conn_options)
+    stack_a.connect(b_address, 80, app.sender_callbacks(nbytes),
+                    variant=variant, **conn_options)
+    sim.run(until=until)
+    return app
