@@ -1,0 +1,64 @@
+"""CLI for the determinism linter: ``python -m repro.analysis <paths>``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .lint import (LintConfig, format_findings, format_findings_json,
+                   lint_paths)
+from .rules import RULE_CATALOGUE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism linter for the MTP reproduction "
+                    "(rules SIM001..SIM006).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (e.g. src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id in sorted(RULE_CATALOGUE):
+            print(f"{rule_id}  {RULE_CATALOGUE[rule_id]}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try: python -m repro.analysis "
+              "src/repro)", file=sys.stderr)
+        return 2
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",")
+                  if part.strip()]
+    try:
+        config = LintConfig(select=select)
+        findings = lint_paths(args.paths, config=config)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_findings_json(findings))
+    elif findings:
+        print(format_findings(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

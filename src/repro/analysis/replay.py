@@ -1,0 +1,223 @@
+"""Replay-divergence detector: a race detector for hidden nondeterminism.
+
+Runs an experiment twice with identical construction (same seed, fresh
+simulator each time) while recording a compact ``(time, kind, packet-uid)``
+trace of every executed event.  Identical runs produce identical digests;
+on mismatch, the first divergent event is pinpointed — the moment an
+unseeded RNG, set-iteration order, or wall-clock read first perturbed the
+schedule.
+
+Usage::
+
+    def experiment(sim):
+        ...build topology with a fixed seed, then...
+        sim.run(until=...)
+
+    report = check_replay(experiment)
+    assert report.ok, report.describe()
+
+Event *kinds* are callback qualnames (never reprs — those embed memory
+addresses, which differ between runs by design and would always "diverge").
+Traces are stored as flat arrays: ~20 bytes per event, so multi-million
+event runs fit comfortably in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+
+__all__ = ["EventTrace", "Divergence", "ReplayReport", "trace_run",
+           "find_divergence", "check_replay"]
+
+
+def _kind_of(callback: Callable) -> str:
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        name = getattr(callback, "__name__", type(callback).__name__)
+    return name
+
+
+def _uid_of(args: Tuple) -> int:
+    for arg in args:
+        uid = getattr(arg, "uid", None)
+        if isinstance(uid, int):
+            return uid
+    return 0
+
+
+class EventTrace:
+    """Append-only record of executed events, hashable into a digest."""
+
+    def __init__(self) -> None:
+        self.times = array("q")
+        self.kind_ids = array("i")
+        self.uids = array("q")
+        self.kind_names: List[str] = []
+        self._kind_index: Dict[str, int] = {}
+        self._sim: Optional[Simulator] = None
+        # Packet uids come from a process-global counter, so two identical
+        # runs in one process see shifted absolute uids.  Recording them
+        # relative to the first uid seen makes equal runs produce equal
+        # traces while still catching any change in packet creation order.
+        self._uid_base: Optional[int] = None
+
+    def attach(self, sim: Simulator) -> None:
+        """Start recording every event executed by ``sim``."""
+        self._sim = sim
+        sim.add_event_hook(self._record)
+
+    def detach(self) -> None:
+        """Stop recording."""
+        if self._sim is not None:
+            self._sim.remove_event_hook(self._record)
+            self._sim = None
+
+    def _record(self, time: int, callback: Callable, args: Tuple) -> None:
+        kind = _kind_of(callback)
+        kind_id = self._kind_index.get(kind)
+        if kind_id is None:
+            kind_id = len(self.kind_names)
+            self._kind_index[kind] = kind_id
+            self.kind_names.append(kind)
+        uid = _uid_of(args)
+        if uid:
+            if self._uid_base is None:
+                self._uid_base = uid
+            uid = uid - self._uid_base + 1
+        self.times.append(time)
+        self.kind_ids.append(kind_id)
+        self.uids.append(uid)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def event(self, index: int) -> Tuple[int, str, int]:
+        """``(time_ns, callback_qualname, packet_uid)`` of event ``index``."""
+        return (self.times[index], self.kind_names[self.kind_ids[index]],
+                self.uids[index])
+
+    def digest(self) -> str:
+        """Stable hash of the whole trace (events + kind name table)."""
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(len(self).to_bytes(8, "little"))
+        hasher.update(self.times.tobytes())
+        hasher.update(self.kind_ids.tobytes())
+        hasher.update(self.uids.tobytes())
+        hasher.update("\x00".join(self.kind_names).encode())
+        return hasher.hexdigest()
+
+
+class Divergence:
+    """First event at which two traces disagree."""
+
+    def __init__(self, index: int,
+                 left: Optional[Tuple[int, str, int]],
+                 right: Optional[Tuple[int, str, int]]):
+        self.index = index
+        self.left = left    #: (time, kind, uid) in run A, or None (ended)
+        self.right = right  #: (time, kind, uid) in run B, or None (ended)
+
+    @staticmethod
+    def _side(event: Optional[Tuple[int, str, int]]) -> str:
+        if event is None:
+            return "<run ended>"
+        time, kind, uid = event
+        pkt = f" pkt#{uid}" if uid else ""
+        return f"t={time} {kind}{pkt}"
+
+    def describe(self) -> str:
+        return (f"first divergent event at index {self.index}: "
+                f"run A: {self._side(self.left)} | "
+                f"run B: {self._side(self.right)}")
+
+    def __repr__(self) -> str:
+        return f"<Divergence {self.describe()}>"
+
+
+def find_divergence(a: EventTrace, b: EventTrace) -> Optional[Divergence]:
+    """First index where two traces disagree, or None when identical."""
+    upto = min(len(a), len(b))
+    for index in range(upto):
+        if (a.times[index] != b.times[index]
+                or a.uids[index] != b.uids[index]
+                or a.kind_names[a.kind_ids[index]]
+                != b.kind_names[b.kind_ids[index]]):
+            return Divergence(index, a.event(index), b.event(index))
+    if len(a) != len(b):
+        longer = a if len(a) > len(b) else b
+        return Divergence(upto,
+                          a.event(upto) if len(a) > upto else None,
+                          b.event(upto) if len(b) > upto else None)
+    return None
+
+
+class ReplayReport:
+    """Outcome of :func:`check_replay`."""
+
+    def __init__(self, digests: List[str], events: List[int],
+                 divergence: Optional[Divergence],
+                 results: List[Any]):
+        self.digests = digests
+        self.events = events
+        self.divergence = divergence
+        self.results = results  #: whatever each run's setup returned
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and len(set(self.digests)) <= 1
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"replay OK: {len(self.digests)} runs, "
+                    f"{self.events[0] if self.events else 0} events, "
+                    f"digest {self.digests[0] if self.digests else '-'}")
+        assert self.divergence is not None
+        return f"replay DIVERGED: {self.divergence.describe()}"
+
+    def __repr__(self) -> str:
+        return f"<ReplayReport ok={self.ok}>"
+
+
+def trace_run(setup: Callable[[Simulator], Any],
+              sim_factory: Callable[[], Simulator] = Simulator
+              ) -> Tuple[EventTrace, Any]:
+    """Run ``setup(sim)`` on a fresh simulator under trace recording.
+
+    ``setup`` must build the experiment *and* drive ``sim.run(...)`` itself;
+    it is called with tracing already attached so no event escapes.
+    """
+    sim = sim_factory()
+    trace = EventTrace()
+    trace.attach(sim)
+    result = setup(sim)
+    trace.detach()
+    return trace, result
+
+
+def check_replay(setup: Callable[[Simulator], Any], runs: int = 2,
+                 sim_factory: Callable[[], Simulator] = Simulator
+                 ) -> ReplayReport:
+    """Execute ``setup`` ``runs`` times and compare the event traces.
+
+    Returns a report whose :attr:`~ReplayReport.ok` is True only when every
+    run produced the byte-identical event stream.  On divergence the first
+    differing event against run 0 is reported.
+    """
+    if runs < 2:
+        raise ValueError("need at least two runs to compare")
+    traces: List[EventTrace] = []
+    results: List[Any] = []
+    divergence: Optional[Divergence] = None
+    for _ in range(runs):
+        trace, result = trace_run(setup, sim_factory=sim_factory)
+        traces.append(trace)
+        results.append(result)
+        if divergence is None and len(traces) > 1:
+            divergence = find_divergence(traces[0], trace)
+    return ReplayReport(digests=[trace.digest() for trace in traces],
+                        events=[len(trace) for trace in traces],
+                        divergence=divergence, results=results)

@@ -1,0 +1,57 @@
+"""Shared infrastructure for determinism-lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+__all__ = ["LintContext", "Rule", "dotted_name"]
+
+
+class LintContext(NamedTuple):
+    """Everything a rule needs to know about the file under analysis."""
+
+    path: str            #: path as given on the command line (posix-ish)
+    tree: ast.Module     #: parsed module
+    source_lines: Tuple[str, ...]  #: raw source, for context in reports
+
+
+class Rule:
+    """One determinism check.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`, yielding ``(node, message)`` pairs.  The driver converts
+    them into :class:`repro.analysis.lint.Finding` objects and applies
+    suppression comments, so rules never deal with ``# sim: ignore``.
+    """
+
+    rule_id: str = "SIM000"
+    summary: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        """Yield ``(offending_node, message)`` for each violation."""
+        raise NotImplementedError
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule runs on ``path`` at all (default: every file)."""
+        return True
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.rule_id}>"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an attribute/name chain like ``time.monotonic`` as a string.
+
+    Returns None for expressions that are not simple dotted chains
+    (subscripts, calls, ...), which rules treat as "cannot tell".
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None

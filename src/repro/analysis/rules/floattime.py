@@ -1,0 +1,114 @@
+"""SIM003 — no float values fed into ``Simulator.schedule`` / ``at``.
+
+Virtual time is integer nanoseconds.  Feeding a float in silently works
+(heap comparison still orders it) but event order then depends on
+floating-point rounding — two runs with a refactored expression can diverge
+at the last ulp.  The rule inspects the *time argument* of calls whose
+receiver looks like a simulator (``sim``, ``self.sim``, ``self._sim``,
+``simulator``) and flags expressions that are statically float-valued:
+
+* float literals (``1.5``, ``1e3``);
+* true division anywhere in the expression (``size / rate``) — use ``//``
+  or go through ``repro.sim.units`` helpers, which round explicitly;
+* calls to ``float(...)``;
+* multiplication/addition mixing a float literal in.
+
+``round(...)``, ``int(...)``, and ``//`` neutralize a subtree — they are
+the sanctioned ways of getting back to integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from .base import LintContext, Rule, dotted_name
+
+__all__ = ["FloatVirtualTimeRule"]
+
+#: Method names that accept a virtual-time first argument.
+TIME_METHODS = frozenset({"schedule", "at", "run_for"})
+
+#: Receiver spellings that identify a Simulator instance.
+SIM_RECEIVER_SUFFIXES = ("sim", "simulator")
+
+#: Calls that guarantee an integer result regardless of their arguments.
+INT_COERCIONS = frozenset({"round", "int", "len", "max", "min", "abs"})
+
+
+def _receiver_is_sim(func: ast.AST) -> bool:
+    if not isinstance(func, ast.Attribute):
+        return False
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return False
+    last = receiver.rsplit(".", 1)[-1].lstrip("_").lower()
+    return last.endswith(SIM_RECEIVER_SUFFIXES)
+
+
+def _float_reason(node: ast.expr) -> Optional[str]:
+    """Why ``node`` is (statically) float-valued, or None when it isn't.
+
+    Conservative: only reports when a float is certain — literals, true
+    division, ``float()`` — so integer-valued expressions never trip it.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, float):
+            return f"float literal {node.value!r}"
+        return None
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name == "float":
+            return "float(...) call"
+        # int-coercing calls neutralize everything beneath them.
+        if name is not None and name.rsplit(".", 1)[-1] in INT_COERCIONS:
+            return None
+        return None  # unknown call: assume the callee returns int ns
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return "true division (use // or repro.sim.units helpers)"
+        if isinstance(node.op, ast.FloorDiv):
+            return None  # floor division re-integerizes
+        left = _float_reason(node.left)
+        if left is not None:
+            return left
+        return _float_reason(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _float_reason(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _float_reason(node.body) or _float_reason(node.orelse)
+    return None
+
+
+class FloatVirtualTimeRule(Rule):
+    rule_id = "SIM003"
+    summary = "no float values fed into Simulator.schedule/at"
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in TIME_METHODS or not _receiver_is_sim(func):
+                continue
+            time_arg = self._time_argument(node, func.attr)
+            if time_arg is None:
+                continue
+            reason = _float_reason(time_arg)
+            if reason is not None:
+                yield (node,
+                       f"{func.attr}() fed a float virtual time ({reason}); "
+                       f"virtual time is integer nanoseconds")
+
+    @staticmethod
+    def _time_argument(node: ast.Call, method: str) -> Optional[ast.expr]:
+        if node.args:
+            return node.args[0]
+        keyword = {"schedule": "delay", "at": "time",
+                   "run_for": "duration"}[method]
+        for kw in node.keywords:
+            if kw.arg == keyword:
+                return kw.value
+        return None

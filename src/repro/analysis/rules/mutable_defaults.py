@@ -1,0 +1,65 @@
+"""SIM004 — no mutable default arguments.
+
+The classic Python trap, but in a simulator it is also a *determinism* trap:
+a list or dict default is shared across every call, so state from one run's
+components bleeds into the next run constructed in the same process, and
+"two identical runs" quietly are not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .base import LintContext, Rule, dotted_name
+
+__all__ = ["MutableDefaultRule"]
+
+#: Constructor calls producing mutable containers.
+MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict", "collections.deque",
+    "collections.defaultdict", "collections.Counter",
+    "collections.OrderedDict",
+})
+
+
+def _mutable_reason(node: ast.expr) -> str:
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in MUTABLE_CALLS:
+            return f"{name}() call"
+    return ""
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "SIM004"
+    summary = "no mutable default arguments"
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            arguments = node.args
+            args = list(arguments.posonlyargs) + list(arguments.args)
+            defaults = list(arguments.defaults)
+            pairs = list(zip(args[len(args) - len(defaults):], defaults))
+            pairs += [(arg, default) for arg, default
+                      in zip(arguments.kwonlyargs, arguments.kw_defaults)
+                      if default is not None]
+            for arg, default in pairs:
+                reason = _mutable_reason(default)
+                if reason:
+                    yield (default,
+                           f"mutable default ({reason}) for argument "
+                           f"{arg.arg!r}; default to None and construct "
+                           f"inside the function")

@@ -1,0 +1,107 @@
+"""SIM002 — no unseeded or module-global ``random`` use.
+
+All randomness must flow from an injected ``random.Random(seed)`` (see
+``repro.sim.rng.SeedSequence``): the module-level functions share one hidden
+global stream, so two components draw from each other's sequences and any
+change in draw order rewrites every downstream number.  Three shapes are
+flagged:
+
+* calls to module-level functions — ``random.random()``, ``random.choice``,
+  or names imported via ``from random import ...``;
+* ``random.Random()`` constructed without a seed argument;
+* the "type-lying" default ``rng: random.Random = None`` — the annotation
+  promises a Random but the default is None (annotate ``Optional`` and seed
+  explicitly at the call site).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from .base import LintContext, Rule, dotted_name
+
+__all__ = ["UnseededRandomRule"]
+
+#: Module-level functions of the `random` module drawing from the global
+#: (process-wide, implicitly seeded) stream.
+GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "randbytes",
+    "choice", "choices", "sample", "shuffle",
+    "uniform", "triangular", "expovariate", "gauss", "normalvariate",
+    "lognormvariate", "vonmisesvariate", "betavariate", "gammavariate",
+    "paretovariate", "weibullvariate", "binomialvariate",
+    "seed", "setstate", "getstate",
+})
+
+#: Annotations treated as "a concrete random.Random" for the
+#: type-lying-default check.
+RANDOM_ANNOTATIONS = frozenset({"random.Random", "Random"})
+
+
+class UnseededRandomRule(Rule):
+    rule_id = "SIM002"
+    summary = "no unseeded or module-global random use"
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        from_imports = self._global_random_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, from_imports)
+            elif isinstance(node, ast.arguments):
+                yield from self._check_defaults(node)
+
+    @staticmethod
+    def _global_random_imports(tree: ast.Module) -> Set[str]:
+        """Local names bound to random's module-level functions."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in GLOBAL_RANDOM_FUNCS:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    def _check_call(self, node: ast.Call,
+                    from_imports: Set[str]) -> Iterator[Tuple[ast.AST, str]]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        head, _, tail = name.rpartition(".")
+        if head == "random" and tail in GLOBAL_RANDOM_FUNCS:
+            yield (node,
+                   f"{name}() draws from the global random stream; "
+                   f"inject a random.Random(seed) (see repro.sim.rng)")
+        elif name in ("random.Random", "Random") and not node.args \
+                and not node.keywords:
+            yield (node,
+                   "Random() without a seed is seeded from the OS; "
+                   "pass an explicit seed")
+        elif "." not in name and name in from_imports:
+            yield (node,
+                   f"{name}() was imported from the random module and draws "
+                   f"from the global stream; inject a random.Random(seed)")
+
+    def _check_defaults(self,
+                        node: ast.arguments) -> Iterator[Tuple[ast.AST, str]]:
+        args = list(node.posonlyargs) + list(node.args)
+        defaults = list(node.defaults)
+        # defaults align with the *tail* of the positional args.
+        for arg, default in zip(args[len(args) - len(defaults):], defaults):
+            yield from self._check_one_default(arg, default)
+        for arg, default in zip(node.kwonlyargs, node.kw_defaults):
+            if default is not None:
+                yield from self._check_one_default(arg, default)
+
+    @staticmethod
+    def _check_one_default(arg: ast.arg,
+                           default: ast.expr) -> Iterator[Tuple[ast.AST, str]]:
+        if arg.annotation is None:
+            return
+        annotation = dotted_name(arg.annotation)
+        is_none = isinstance(default, ast.Constant) and default.value is None
+        if annotation in RANDOM_ANNOTATIONS and is_none:
+            yield (arg,
+                   f"argument {arg.arg!r} is annotated {annotation} but "
+                   f"defaults to None; annotate Optional[random.Random] "
+                   f"and construct a seeded Random explicitly")

@@ -1,0 +1,105 @@
+"""SIM005 — no iteration over bare sets.
+
+Set iteration order depends on insertion history and element hashes; for
+strings the hash is salted per process (PYTHONHASHSEED), so iterating a set
+of node names in a scheduling or forwarding path produces a *different
+event order on every run*.  Wrap the iterable in ``sorted(...)`` — or use a
+list/dict, both of which preserve insertion order.
+
+Detection is intentionally local and conservative: set literals, set
+comprehensions, ``set(...)``/``frozenset(...)`` calls, set-operator results,
+and names assigned from one of those within the same function body.
+Membership tests (``in``) are fine; only *iteration* is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from .base import LintContext, Rule, dotted_name
+
+__all__ = ["SetIterationRule"]
+
+SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    """Statically set-valued?  (literal, comprehension, constructor, name)"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in SET_CONSTRUCTORS
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # Set algebra (a | b, a - b, ...) stays a set if either side is one.
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    return False
+
+
+class SetIterationRule(Rule):
+    rule_id = "SIM005"
+    summary = "no iteration over bare sets (nondeterministic order)"
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        # Analyse each function body (and the module top level) separately so
+        # name tracking stays scope-local.
+        scopes: List[ast.AST] = [ctx.tree]
+        scopes.extend(node for node in ast.walk(ctx.tree)
+                      if isinstance(node, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)))
+        for scope in scopes:
+            yield from self._check_scope(scope)
+
+    def _check_scope(self, scope: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+        set_names = self._set_valued_names(scope)
+        for node in self._walk_same_scope(scope):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for iter_expr in iters:
+                if _is_set_expr(iter_expr, set_names):
+                    yield (iter_expr,
+                           "iterating a set: ordering is nondeterministic "
+                           "across processes; wrap in sorted(...) or use a "
+                           "list/dict")
+
+    @staticmethod
+    def _set_valued_names(scope: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        empty: Set[str] = set()
+        for node in SetIterationRule._walk_same_scope(scope):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value,
+                                                             empty):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and _is_set_expr(node.value, empty) \
+                    and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+            elif isinstance(node, ast.Assign):
+                # A later non-set reassignment clears the mark.
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.discard(target.id)
+        return names
+
+    @staticmethod
+    def _walk_same_scope(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``scope`` without descending into nested function defs."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))

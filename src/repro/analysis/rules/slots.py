@@ -1,0 +1,90 @@
+"""SIM006 — hot-path classes must declare ``__slots__``.
+
+Packets, event handles, headers, and feedback entries are allocated millions
+of times per run; a ``__dict__`` per instance roughly triples their memory
+footprint and slows attribute access.  Beyond performance, ``__slots__``
+catches typo'd attribute writes — a silent ``pakcet.szie = ...`` is exactly
+the kind of bug that turns into an unexplained accounting leak.
+
+The rule applies to modules on the hot-path list below.  Exempt within
+those modules: exception types, ``typing.Protocol`` definitions, and
+classes inheriting from an unknown (non-local, non-slotted) base — slots on
+a subclass of a dict-ful base buy nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from .base import LintContext, Rule, dotted_name
+
+__all__ = ["HotPathSlotsRule", "HOT_PATH_MODULE_SUFFIXES"]
+
+#: Path suffixes of modules whose classes sit on the per-packet hot path.
+HOT_PATH_MODULE_SUFFIXES = (
+    "repro/net/packet.py",
+    "repro/sim/engine.py",
+    "repro/core/header.py",
+    "repro/core/feedback.py",
+)
+
+#: Base-class names that exempt a class from the slots requirement.
+EXEMPT_BASES = frozenset({
+    "Exception", "BaseException", "RuntimeError", "ValueError", "TypeError",
+    "Protocol", "typing.Protocol", "Enum", "enum.Enum", "IntEnum",
+    "enum.IntEnum", "NamedTuple", "typing.NamedTuple",
+})
+
+
+class HotPathSlotsRule(Rule):
+    rule_id = "SIM006"
+    summary = "hot-path classes must declare __slots__"
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return normalized.endswith(HOT_PATH_MODULE_SUFFIXES)
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        slotted: Set[str] = set()  # local classes that declare __slots__
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if self._declares_slots(node):
+                slotted.add(node.name)
+                continue
+            if self._is_exempt(node, slotted):
+                continue
+            yield (node,
+                   f"hot-path class {node.name!r} does not declare "
+                   f"__slots__ (this module is allocated per packet/event)")
+
+    @staticmethod
+    def _declares_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [target.id for target in stmt.targets
+                           if isinstance(target, ast.Name)]
+                if "__slots__" in targets:
+                    return True
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == "__slots__":
+                return True
+        return False
+
+    @staticmethod
+    def _is_exempt(node: ast.ClassDef, slotted: Set[str]) -> bool:
+        if node.name.endswith(("Error", "Exception", "Warning")):
+            return True
+        for base in node.bases:
+            name = dotted_name(base)
+            if name is None:
+                continue
+            if name in EXEMPT_BASES or name.endswith("Error"):
+                return True
+            if name not in slotted and "." not in name:
+                # Inherits a local-looking base that itself lacks slots:
+                # report the base, not every subclass.
+                return True
+        return False

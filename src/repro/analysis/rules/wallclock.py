@@ -1,0 +1,52 @@
+"""SIM001 — no wall-clock reads outside CLI drivers.
+
+Simulation components must take time from ``Simulator.now``; a wall-clock
+read anywhere in a model makes runs irreproducible (and usually means a
+benchmark number silently depends on host load).  CLI drivers
+(``__main__.py`` files) legitimately time their own wall-clock runtime and
+are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .base import LintContext, Rule, dotted_name
+
+__all__ = ["WallClockRule"]
+
+#: Dotted call targets that read the wall clock or the host's notion of now.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.localtime", "time.gmtime", "time.ctime",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today", "datetime.date.today",
+})
+
+#: File basenames allowed to read the wall clock (CLI entry points).
+EXEMPT_BASENAMES = ("__main__.py",)
+
+
+class WallClockRule(Rule):
+    rule_id = "SIM001"
+    summary = "no wall-clock reads outside CLI drivers"
+
+    def applies_to(self, path: str) -> bool:
+        name = path.replace("\\", "/").rsplit("/", 1)[-1]
+        return name not in EXEMPT_BASENAMES
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in WALL_CLOCK_CALLS:
+                yield (node,
+                       f"wall-clock call {name}() in simulation code; "
+                       f"use Simulator.now (virtual time) instead")

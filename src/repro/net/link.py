@@ -48,6 +48,8 @@ class Port:
         self.queue = queue if queue is not None else DropTailQueue(
             DEFAULT_QUEUE_CAPACITY)
         self.name = name or f"{node.name}.port{len(node.ports)}"
+        if sim.ledger is not None:
+            sim.ledger.register_port(self)
         self.peer: Optional["Node"] = None
         self.peer_port: Optional["Port"] = None
         self._busy = False
@@ -63,6 +65,12 @@ class Port:
         if self.peer is None:
             raise RuntimeError(f"port {self.name} is not connected")
         accepted = self.queue.enqueue(packet, self.sim.now)
+        ledger = self.sim.ledger
+        if ledger is not None:
+            if accepted:
+                ledger.packet_enqueued(packet, self.name)
+            else:
+                ledger.packet_dropped(packet, self.name, "queue_full")
         if accepted and not self._busy:
             self._transmit_next()
         return accepted
@@ -82,6 +90,8 @@ class Port:
         if packet is None:
             self._busy = False
             return
+        if self.sim.ledger is not None:
+            self.sim.ledger.packet_wire(packet, self.name)
         self._busy = True
         tx_delay = transmission_delay(packet.size, self.rate_bps)
         self.busy_until = self.sim.now + tx_delay

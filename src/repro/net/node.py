@@ -107,18 +107,29 @@ class Host(Node):
         """Transmit ``packet`` out of the appropriate port."""
         self.counters.add("tx_packets")
         self.counters.add("tx_bytes", packet.size)
+        if self.sim.ledger is not None:
+            self.sim.ledger.packet_injected(packet, self.name)
         return self.egress_port(packet.dst).send(packet)
 
     def receive(self, packet: Packet, ingress: "Port") -> None:
+        ledger = self.sim.ledger
+        if ledger is not None:
+            ledger.packet_arrived(packet, self.name)
         if packet.dst != self.address:
             self.counters.add("misrouted")
+            if ledger is not None:
+                ledger.packet_dropped(packet, self.name, "misrouted")
             return
         self.counters.add("rx_packets")
         self.counters.add("rx_bytes", packet.size)
         handler = self._protocols.get(packet.protocol)
         if handler is None:
             self.counters.add("no_protocol")
+            if ledger is not None:
+                ledger.packet_dropped(packet, self.name, "no_protocol")
             return
+        if ledger is not None:
+            ledger.packet_delivered(packet, self.name)
         handler.handle_packet(packet)
 
 
@@ -156,6 +167,9 @@ class Switch(Node):
 
     def receive(self, packet: Packet, ingress: "Port") -> None:
         self.counters.add("rx_packets")
+        ledger = self.sim.ledger
+        if ledger is not None:
+            ledger.packet_arrived(packet, self.name)
         if self.record_hops:
             packet.hops.append(self.name)
         packets: List[Packet] = [packet]
@@ -166,6 +180,8 @@ class Switch(Node):
                 if result is None:
                     next_packets.append(current)
                 else:
+                    if ledger is not None:
+                        ledger.packet_transformed(current, result, self.name)
                     next_packets.extend(result)
             packets = next_packets
             if not packets:
@@ -176,10 +192,16 @@ class Switch(Node):
 
     def forward(self, packet: Packet) -> None:
         """Route one packet to an egress port and enqueue it."""
+        if self.sim.ledger is not None:
+            # Offloads inject brand-new packets (in-network ACKs, aggregated
+            # gradients, cache answers) straight through forward().
+            self.sim.ledger.packet_forwarded(packet, self.name)
         try:
             candidates = self.candidate_ports(packet.dst)
         except LookupError:
             self.counters.add("no_route")
+            if self.sim.ledger is not None:
+                self.sim.ledger.packet_dropped(packet, self.name, "no_route")
             return
         candidates = self._honour_exclusions(packet, candidates)
         if len(candidates) == 1 or self.selector is None:

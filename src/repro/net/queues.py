@@ -15,8 +15,9 @@ Three disciplines cover the paper's experiments:
 
 from __future__ import annotations
 
+import random
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterator, Optional
 
 from .packet import Packet
 
@@ -70,6 +71,15 @@ class QueueDiscipline:
     def _next(self, now: int) -> Optional[Packet]:
         raise NotImplementedError
 
+    def resident(self) -> Iterator[Packet]:
+        """Iterate the packets currently held, in deterministic order.
+
+        Used by the packet-conservation sanitizer
+        (:mod:`repro.analysis.sanitize`) to distinguish "still queued" from
+        "leaked"; custom disciplines should implement it.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -110,6 +120,9 @@ class DropTailQueue(QueueDiscipline):
     def _next(self, now: int) -> Optional[Packet]:
         return self._fifo.popleft() if self._fifo else None
 
+    def resident(self) -> Iterator[Packet]:
+        return iter(self._fifo)
+
     def __len__(self) -> int:
         return len(self._fifo)
 
@@ -127,7 +140,8 @@ class RedQueue(QueueDiscipline):
 
     def __init__(self, capacity: int, min_threshold: int,
                  max_threshold: int, max_probability: float = 0.1,
-                 weight: float = 0.2, rng=None, ecn: bool = True):
+                 weight: float = 0.2,
+                 rng: Optional[random.Random] = None, ecn: bool = True):
         super().__init__()
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -137,14 +151,14 @@ class RedQueue(QueueDiscipline):
             raise ValueError("max_probability must be in (0, 1]")
         if not 0 < weight <= 1:
             raise ValueError("weight must be in (0, 1]")
-        import random as _random
         self.capacity = capacity
         self.min_threshold = min_threshold
         self.max_threshold = max_threshold
         self.max_probability = max_probability
         self.weight = weight
         self.ecn = ecn
-        self.rng = rng if rng is not None else _random.Random(0)
+        #: Explicitly seeded default: RED marking must replay identically.
+        self.rng = rng if rng is not None else random.Random(0)
         self.avg_queue = 0.0
         self._fifo: Deque[Packet] = deque()
         self.red_dropped = 0
@@ -175,6 +189,9 @@ class RedQueue(QueueDiscipline):
 
     def _next(self, now: int) -> Optional[Packet]:
         return self._fifo.popleft() if self._fifo else None
+
+    def resident(self) -> Iterator[Packet]:
+        return iter(self._fifo)
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -248,6 +265,11 @@ class DRRQueue(QueueDiscipline):
             self._active.rotate(-1)
             self._fresh_turn = True
 
+    def resident(self) -> Iterator[Packet]:
+        # Dict iteration follows insertion order: deterministic.
+        for fifo in self._classes.values():
+            yield from fifo
+
     def __len__(self) -> int:
         return self._total
 
@@ -310,6 +332,10 @@ class PriorityQueue(QueueDiscipline):
                 self._total -= 1
                 return band.popleft()
         return None
+
+    def resident(self) -> Iterator[Packet]:
+        for band in self._bands:
+            yield from band
 
     def __len__(self) -> int:
         return self._total
@@ -379,6 +405,9 @@ class FairShareQueue(QueueDiscipline):
         if self._per_entity[packet.entity] == 0:
             del self._per_entity[packet.entity]
         return packet
+
+    def resident(self) -> Iterator[Packet]:
+        return iter(self._fifo)
 
     def __len__(self) -> int:
         return len(self._fifo)

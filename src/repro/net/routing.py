@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import TYPE_CHECKING, Protocol, Sequence
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
 
 from .packet import Packet
 
@@ -58,10 +58,12 @@ class PacketSpraySelector:
     """
 
     def __init__(self, mode: str = "round_robin",
-                 rng: random.Random = None):  # type: ignore[assignment]
+                 rng: Optional[random.Random] = None):
         if mode not in ("round_robin", "random"):
             raise ValueError(f"unknown spray mode {mode!r}")
         self.mode = mode
+        #: Explicitly seeded default so random spraying replays identically;
+        #: inject a SeedSequence stream to decorrelate multiple sprayers.
         self.rng = rng if rng is not None else random.Random(0)
         self._counter = 0
 

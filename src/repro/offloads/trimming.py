@@ -82,5 +82,10 @@ class TrimmingQueue(QueueDiscipline):
             return self._data.popleft()
         return None
 
+    def resident(self):
+        """Trimmed headers first (dequeue order), then queued data."""
+        yield from self._headers
+        yield from self._data
+
     def __len__(self) -> int:
         return len(self._data) + len(self._headers)

@@ -5,6 +5,15 @@ scheduled for the same tick fire in scheduling order (FIFO), which keeps runs
 deterministic.  Components hold a reference to the simulator and use
 :meth:`Simulator.schedule` / :meth:`Simulator.at` to arrange callbacks, and
 :class:`Timer` for restartable timeouts (retransmission timers and the like).
+
+Correctness tooling (see ``repro.analysis``) plugs in through two optional
+hooks that cost one branch per event when unused:
+
+* :meth:`Simulator.add_event_hook` — called as ``hook(time, callback, args)``
+  just before each event executes; the replay-divergence detector and the
+  sanitizing simulator both build on it.
+* :attr:`Simulator.ledger` — an optional packet-conservation ledger consulted
+  by hosts, switches, and ports (``repro.analysis.sanitize.PacketLedger``).
 """
 
 from __future__ import annotations
@@ -16,6 +25,10 @@ from .units import format_time
 
 __all__ = ["Simulator", "EventHandle", "Timer", "SimulationError"]
 
+#: Compaction is considered once the heap holds more than this many
+#: lazily-cancelled entries (keeps tiny heaps out of the bookkeeping).
+COMPACT_MIN_CANCELLED = 64
+
 
 class SimulationError(RuntimeError):
     """Raised on kernel misuse (scheduling in the past, running twice, ...)."""
@@ -26,22 +39,33 @@ class EventHandle:
 
     Cancellation is lazy: the heap entry stays in place and is skipped when
     popped.  This keeps cancel O(1), which matters because retransmission
-    timers are cancelled far more often than they fire.
+    timers are cancelled far more often than they fire.  The owning simulator
+    keeps a live count of cancelled-but-queued entries so it can (a) answer
+    :meth:`Simulator.pending_events` in O(1) and (b) compact the heap when
+    lazy-cancelled entries dominate it.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(self, time: int, seq: int,
-                 callback: Callable[..., None], args: Tuple[Any, ...]):
+                 callback: Callable[..., None], args: Tuple[Any, ...],
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Only count handles that are still queued: a fired event has had
+        # its callback released, and counting it would skew the live total.
+        if self.callback is not None and self.sim is not None:
+            self.sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -60,6 +84,10 @@ class EventHandle:
 class Simulator:
     """Event loop with integer-nanosecond virtual time."""
 
+    __slots__ = ("_queue", "_now", "_seq", "_running", "_stopped",
+                 "_cancelled_in_queue", "_event_hooks", "events_executed",
+                 "ledger")
+
     def __init__(self) -> None:
         # Heap entries are (time, seq, handle) tuples: tuple comparison is
         # C-level, which matters at millions of events per run.
@@ -68,7 +96,14 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        #: Lazily-cancelled entries still sitting in the heap.
+        self._cancelled_in_queue: int = 0
+        #: Pre-execution observers (replay tracing, sanitizers).
+        self._event_hooks: List[Callable[[int, Callable, Tuple], None]] = []
         self.events_executed: int = 0
+        #: Optional packet-conservation ledger (repro.analysis.sanitize);
+        #: hosts, switches, and ports consult it when set.
+        self.ledger: Optional[Any] = None
 
     @property
     def now(self) -> int:
@@ -89,7 +124,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {format_time(time)}, "
                 f"now is {format_time(self._now)}")
-        handle = EventHandle(time, self._seq, callback, args)
+        handle = EventHandle(time, self._seq, callback, args, self)
         heapq.heappush(self._queue, (time, self._seq, handle))
         self._seq += 1
         return handle
@@ -98,10 +133,50 @@ class Simulator:
         """Stop the run loop after the current event returns."""
         self._stopped = True
 
+    def add_event_hook(
+            self, hook: Callable[[int, Callable, Tuple], None]) -> None:
+        """Register ``hook(time, callback, args)`` to observe each event.
+
+        Hooks fire after the clock has advanced to the event's timestamp and
+        before the callback executes, in registration order.  Used by the
+        replay-divergence detector and the sanitizing simulator; costs one
+        branch per event when no hook is installed.
+        """
+        self._event_hooks.append(hook)
+
+    def remove_event_hook(
+            self, hook: Callable[[int, Callable, Tuple], None]) -> None:
+        """Unregister a previously added event hook."""
+        self._event_hooks.remove(hook)
+
+    def _note_cancelled(self) -> None:
+        """Record that a queued event was lazily cancelled (see EventHandle)."""
+        self._cancelled_in_queue += 1
+
+    def _compact(self) -> None:
+        """Rebuild the heap without lazily-cancelled entries.
+
+        O(n), amortised away by only triggering once cancelled entries
+        exceed half the heap (see :meth:`_maybe_compact`): each compaction
+        removes at least half the heap, paid for by the cancellations that
+        accumulated since the last one.
+        """
+        self._queue = [entry for entry in self._queue
+                       if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+
+    def _maybe_compact(self) -> None:
+        if (self._cancelled_in_queue > COMPACT_MIN_CANCELLED
+                and self._cancelled_in_queue * 2 > len(self._queue)):
+            self._compact()
+
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or None when the queue is drained."""
+        self._maybe_compact()
         while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_queue -= 1
         return self._queue[0][0] if self._queue else None
 
     def run(self, until: Optional[int] = None) -> int:
@@ -117,9 +192,13 @@ class Simulator:
         self._stopped = False
         try:
             while self._queue and not self._stopped:
+                self._maybe_compact()
+                if not self._queue:
+                    break
                 entry = heapq.heappop(self._queue)
                 event = entry[2]
                 if event.cancelled:
+                    self._cancelled_in_queue -= 1
                     continue
                 if until is not None and entry[0] > until:
                     heapq.heappush(self._queue, entry)
@@ -131,6 +210,9 @@ class Simulator:
                 event.callback = None  # type: ignore[assignment]
                 event.args = ()
                 self.events_executed += 1
+                if self._event_hooks:
+                    for hook in self._event_hooks:
+                        hook(entry[0], callback, args)
                 callback(*args)
         finally:
             self._running = False
@@ -143,8 +225,8 @@ class Simulator:
         return self.run(until=self._now + duration)
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for _, _, event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return len(self._queue) - self._cancelled_in_queue
 
     def __repr__(self) -> str:
         return (f"<Simulator now={format_time(self._now)} "
@@ -158,6 +240,8 @@ class Timer:
     ``stop()`` when everything is acknowledged.  The callback passed at
     construction fires with no arguments when the timer expires.
     """
+
+    __slots__ = ("_sim", "_callback", "_handle")
 
     def __init__(self, sim: Simulator, callback: Callable[[], None]):
         self._sim = sim

@@ -23,6 +23,7 @@ requirement); senders emit at a configured rate.
 from __future__ import annotations
 
 import itertools
+import random
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple  # noqa: F401
 
@@ -101,7 +102,8 @@ class _BaseQueuePair:
 
     def __init__(self, stack: RdmaStack, qp_number: int,
                  rate_bps: int = 10 ** 10,
-                 on_message: Optional[Callable] = None):
+                 on_message: Optional[Callable] = None,
+                 jitter_rng: Optional[random.Random] = None):
         self.stack = stack
         self.sim = stack.sim
         self.qp_number = qp_number
@@ -114,8 +116,11 @@ class _BaseQueuePair:
         # Small pacing jitter (deterministic per QP): real NICs are not
         # perfectly periodic, and without it a congested drop-tail queue
         # can phase-lock against the pacer and starve one PSN forever.
-        import random as _random
-        self._jitter = _random.Random(qp_number)
+        # The stream is injectable (e.g. SeedSequence(seed).stream(f"qp{n}"))
+        # so experiment-wide seeding reaches the pacer; the per-QP-number
+        # fallback keeps the old behaviour reproducible.
+        self._jitter = jitter_rng if jitter_rng is not None \
+            else random.Random(qp_number)
         #: (psn_or_None, msg_id, pkt_num, n_pkts, size) — None means
         #: "allocate the next PSN at transmit time"; retransmissions carry
         #: their original PSN (as InfiniBand does).

@@ -1,0 +1,377 @@
+"""Determinism linter: every SIM rule gets a positive, a suppressed, and a
+clean fixture, plus driver-level behaviour (skip-file, JSON, CLI exit codes).
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import (LintConfig, format_findings_json, lint_source)
+from repro.analysis.rules import RULE_CATALOGUE, all_rules
+
+
+def findings_for(code, rule_id, path="repro/sim/example.py"):
+    code = textwrap.dedent(code)
+    config = LintConfig(select=[rule_id])
+    return lint_source(code, path=path, config=config)
+
+
+def rule_ids(findings):
+    return [finding.rule_id for finding in findings]
+
+
+class TestCatalogue:
+    def test_every_rule_registered(self):
+        assert sorted(rule.rule_id for rule in all_rules()) == \
+            sorted(RULE_CATALOGUE)
+
+    def test_rule_ids_unique(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert len(ids) == len(set(ids))
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig(select=["SIM999"]).rules()
+
+
+class TestSim001WallClock:
+    def test_flags_time_time(self):
+        findings = findings_for("""
+            import time
+            def sample():
+                return time.time()
+            """, "SIM001")
+        assert rule_ids(findings) == ["SIM001"]
+        assert "time.time" in findings[0].message
+
+    def test_flags_datetime_now(self):
+        findings = findings_for("""
+            import datetime
+            def stamp():
+                return datetime.datetime.now()
+            """, "SIM001")
+        assert rule_ids(findings) == ["SIM001"]
+
+    def test_cli_driver_exempt(self):
+        findings = findings_for("""
+            import time
+            started = time.time()
+            """, "SIM001", path="repro/experiments/__main__.py")
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = findings_for("""
+            import time
+            def sample():
+                return time.time()  # sim: ignore[SIM001]
+            """, "SIM001")
+        assert findings == []
+
+    def test_clean(self):
+        findings = findings_for("""
+            def sample(sim):
+                return sim.now
+            """, "SIM001")
+        assert findings == []
+
+
+class TestSim002Random:
+    def test_flags_global_random(self):
+        findings = findings_for("""
+            import random
+            def jitter():
+                return random.random()
+            """, "SIM002")
+        assert rule_ids(findings) == ["SIM002"]
+
+    def test_flags_from_import(self):
+        findings = findings_for("""
+            from random import expovariate
+            def gap():
+                return expovariate(1.0)
+            """, "SIM002")
+        assert rule_ids(findings) == ["SIM002"]
+
+    def test_flags_unseeded_random_instance(self):
+        findings = findings_for("""
+            import random
+            rng = random.Random()
+            """, "SIM002")
+        assert rule_ids(findings) == ["SIM002"]
+        assert "seed" in findings[0].message
+
+    def test_flags_type_lying_default(self):
+        findings = findings_for("""
+            import random
+            def build(rng: random.Random = None):
+                pass
+            """, "SIM002")
+        assert rule_ids(findings) == ["SIM002"]
+        assert "Optional" in findings[0].message
+
+    def test_suppressed(self):
+        findings = findings_for("""
+            import random
+            value = random.random()  # sim: ignore[SIM002]
+            """, "SIM002")
+        assert findings == []
+
+    def test_clean_injected_rng(self):
+        findings = findings_for("""
+            import random
+            from typing import Optional
+            def build(rng: Optional[random.Random] = None):
+                rng = rng if rng is not None else random.Random(7)
+                return rng.random()
+            """, "SIM002")
+        assert findings == []
+
+
+class TestSim003FloatTime:
+    def test_flags_float_literal_delay(self):
+        findings = findings_for("""
+            def fire(sim, cb):
+                sim.schedule(1.5, cb)
+            """, "SIM003")
+        assert rule_ids(findings) == ["SIM003"]
+
+    def test_flags_true_division(self):
+        findings = findings_for("""
+            class Pacer:
+                def pump(self, nbytes, rate):
+                    self.sim.at(nbytes / rate, self.pump)
+            """, "SIM003")
+        assert rule_ids(findings) == ["SIM003"]
+        assert "division" in findings[0].message
+
+    def test_round_is_clean(self):
+        findings = findings_for("""
+            def fire(sim, cb, gap):
+                sim.schedule(round(gap * 1.05), cb)
+            """, "SIM003")
+        assert findings == []
+
+    def test_floor_division_is_clean(self):
+        findings = findings_for("""
+            def fire(sim, cb, nbytes, rate):
+                sim.schedule(nbytes * 8_000_000_000 // rate, cb)
+            """, "SIM003")
+        assert findings == []
+
+    def test_non_sim_receiver_ignored(self):
+        findings = findings_for("""
+            def other(cron):
+                cron.schedule(1.5, "job")
+            """, "SIM003")
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = findings_for("""
+            def fire(sim, cb):
+                sim.schedule(1.5, cb)  # sim: ignore[SIM003]
+            """, "SIM003")
+        assert findings == []
+
+
+class TestSim004MutableDefaults:
+    def test_flags_list_and_dict(self):
+        findings = findings_for("""
+            def build(routes=[], table={}):
+                pass
+            """, "SIM004")
+        assert rule_ids(findings) == ["SIM004", "SIM004"]
+
+    def test_flags_constructor_calls(self):
+        findings = findings_for("""
+            from collections import deque
+            def build(backlog=deque(), seen=set()):
+                pass
+            """, "SIM004")
+        assert len(findings) == 2
+
+    def test_kwonly_default_flagged(self):
+        findings = findings_for("""
+            def build(*, hops=[]):
+                pass
+            """, "SIM004")
+        assert rule_ids(findings) == ["SIM004"]
+
+    def test_suppressed(self):
+        findings = findings_for("""
+            def build(routes=[]):  # sim: ignore[SIM004]
+                pass
+            """, "SIM004")
+        assert findings == []
+
+    def test_clean_none_default(self):
+        findings = findings_for("""
+            def build(routes=None):
+                routes = routes if routes is not None else []
+            """, "SIM004")
+        assert findings == []
+
+
+class TestSim005SetIteration:
+    def test_flags_set_literal_loop(self):
+        findings = findings_for("""
+            def walk():
+                for name in {"a", "b"}:
+                    print(name)
+            """, "SIM005")
+        assert rule_ids(findings) == ["SIM005"]
+
+    def test_flags_tracked_name(self):
+        findings = findings_for("""
+            def walk(items):
+                pending = set(items)
+                for item in pending:
+                    print(item)
+            """, "SIM005")
+        assert rule_ids(findings) == ["SIM005"]
+
+    def test_flags_comprehension(self):
+        findings = findings_for("""
+            def walk(items):
+                return [item for item in set(items)]
+            """, "SIM005")
+        assert rule_ids(findings) == ["SIM005"]
+
+    def test_sorted_wrap_is_clean(self):
+        findings = findings_for("""
+            def walk(items):
+                pending = set(items)
+                for item in sorted(pending):
+                    print(item)
+            """, "SIM005")
+        assert findings == []
+
+    def test_membership_test_is_clean(self):
+        findings = findings_for("""
+            def filter_ports(ports, excluded):
+                bad = set(excluded)
+                return [port for port in ports if port not in bad]
+            """, "SIM005")
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = findings_for("""
+            def walk(items):
+                for item in set(items):  # sim: ignore[SIM005]
+                    print(item)
+            """, "SIM005")
+        assert findings == []
+
+
+class TestSim006Slots:
+    PACKET_PATH = "repro/net/packet.py"
+
+    def test_flags_slotless_hot_class(self):
+        findings = findings_for("""
+            class Packet:
+                def __init__(self):
+                    self.size = 0
+            """, "SIM006", path=self.PACKET_PATH)
+        assert rule_ids(findings) == ["SIM006"]
+
+    def test_flags_slotless_subclass_of_slotted(self):
+        findings = findings_for("""
+            class Base:
+                __slots__ = ("x",)
+            class Sub(Base):
+                pass
+            """, "SIM006", path=self.PACKET_PATH)
+        assert rule_ids(findings) == ["SIM006"]
+        assert "Sub" in findings[0].message
+
+    def test_exceptions_exempt(self):
+        findings = findings_for("""
+            class PacketError(Exception):
+                pass
+            """, "SIM006", path=self.PACKET_PATH)
+        assert findings == []
+
+    def test_cold_module_exempt(self):
+        findings = findings_for("""
+            class Anything:
+                def __init__(self):
+                    self.x = 1
+            """, "SIM006", path="repro/experiments/common.py")
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = findings_for("""
+            class Packet:  # sim: ignore[SIM006]
+                def __init__(self):
+                    self.size = 0
+            """, "SIM006", path=self.PACKET_PATH)
+        assert findings == []
+
+
+class TestDriver:
+    def test_skip_file_pragma(self):
+        code = "# sim: skip-file\nimport time\nvalue = time.time()\n"
+        assert lint_source(code, path="repro/sim/x.py") == []
+
+    def test_bare_ignore_suppresses_all_rules(self):
+        findings = findings_for("""
+            def build(routes=[]):  # sim: ignore
+                pass
+            """, "SIM004")
+        assert findings == []
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", path="repro/sim/x.py")
+        assert rule_ids(findings) == ["SIM000"]
+
+    def test_json_format_is_machine_readable(self):
+        findings = findings_for("""
+            def build(routes=[]):
+                pass
+            """, "SIM004")
+        payload = json.loads(format_findings_json(findings))
+        assert payload[0]["rule_id"] == "SIM004"
+        assert set(payload[0]) == {"rule_id", "path", "line", "col",
+                                   "message"}
+
+    def test_findings_sorted_by_location(self):
+        findings = lint_source(textwrap.dedent("""
+            import time
+            def late(x=[]):
+                return time.time()
+            """), path="repro/sim/x.py")
+        assert findings == sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+
+class TestCli:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True)
+
+    def test_violating_file_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nvalue = time.time()\n")
+        proc = self.run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "SIM001" in proc.stdout
+        assert "bad.py" in proc.stdout
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("def noop():\n    return 0\n")
+        proc = self.run_cli(str(good))
+        assert proc.returncode == 0
+
+    def test_no_paths_is_usage_error(self):
+        proc = self.run_cli()
+        assert proc.returncode == 2
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in RULE_CATALOGUE:
+            assert rule_id in proc.stdout

@@ -1,0 +1,22 @@
+"""Self-check: the shipped source tree passes its own determinism linter.
+
+Keeping this green is the point of the linter — any new wall-clock read,
+unseeded RNG, float virtual time, mutable default, bare-set iteration, or
+slotless hot-path class fails CI here (or carries an explicit
+``# sim: ignore[...]`` with a reason).
+"""
+
+from pathlib import Path
+
+from repro.analysis import format_findings, lint_paths
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SRC_ROOT.is_dir()
+
+
+def test_repo_is_lint_clean():
+    findings = lint_paths([str(SRC_ROOT)])
+    assert findings == [], "\n" + format_findings(findings)

@@ -1,0 +1,260 @@
+"""Runtime sanitizers: SanitizingSimulator trips, queue audits, and the
+packet-conservation ledger (clean runs, accounted drops, injected leaks,
+and the fig2/fig5 acceptance runs from the issue).
+"""
+
+import pytest
+
+from repro.analysis import (PacketLedger, SanitizerError, SanitizingSimulator,
+                            audit_network_queues, audit_queue)
+from repro.experiments.fig2_proxy import Fig2Config, run_fig2
+from repro.experiments.fig5_multipath import Fig5Config, run_fig5
+from repro.net import DropTailQueue, Network
+from repro.net.packet import Packet
+from repro.sim import Simulator, microseconds
+
+
+def noop(*args):
+    pass
+
+
+class Sink:
+    """Minimal protocol handler that counts deliveries."""
+
+    def __init__(self):
+        self.received = []
+
+    def handle_packet(self, packet):
+        self.received.append(packet)
+
+
+def build_pair(sim, queue_factory=None):
+    """sender -- receiver over one link, with a delivery sink installed."""
+    net = Network(sim)
+    sender = net.add_host("sender")
+    receiver = net.add_host("receiver")
+    net.connect(sender, receiver, rate_bps=10**9, delay_ns=1000,
+                queue_factory=queue_factory)
+    net.install_routes()
+    sink = Sink()
+    receiver.register_protocol("test", sink)
+    return net, sender, receiver, sink
+
+
+def make_packet(sender, receiver, size=1000):
+    return Packet(src=sender.address, dst=receiver.address, size=size,
+                  protocol="test")
+
+
+class TestSanitizingSimulator:
+    def test_float_delay_rejected_naming_callback(self):
+        sim = SanitizingSimulator()
+        with pytest.raises(SanitizerError) as excinfo:
+            sim.schedule(1.5, noop)
+        message = str(excinfo.value)
+        assert "noop" in message
+        assert "SIM003" in message
+
+    def test_bool_delay_rejected(self):
+        sim = SanitizingSimulator()
+        with pytest.raises(SanitizerError):
+            sim.schedule(True, noop)
+
+    def test_float_at_rejected(self):
+        sim = SanitizingSimulator()
+        with pytest.raises(SanitizerError):
+            sim.at(2.0, noop)
+
+    def test_integer_times_pass_and_are_counted(self):
+        sim = SanitizingSimulator()
+        sim.schedule(5, noop)
+        sim.at(10, noop)
+        sim.run()
+        assert sim.checks_performed == 2
+        assert sim.now == 10
+
+    def test_causality_violation_detected(self):
+        sim = SanitizingSimulator()
+        sim.schedule(5, noop)
+        # Simulate corrupted heap state: the clock has already "reached" a
+        # later time than the pending event.
+        sim._last_event_time = 10**9
+        with pytest.raises(SanitizerError) as excinfo:
+            sim.run()
+        assert "causality" in str(excinfo.value)
+
+    def test_drop_in_for_plain_simulator(self):
+        ledger = PacketLedger()
+        sim = SanitizingSimulator(ledger=ledger)
+        assert sim.ledger is ledger
+        _, sender, receiver, sink = build_pair(sim)
+        sender.send(make_packet(sender, receiver))
+        sim.run()
+        assert len(sink.received) == 1
+        assert ledger.finalize(sim).ok
+
+
+class TestAuditQueue:
+    def fill(self, queue, n=3):
+        for index in range(n):
+            assert queue.enqueue(Packet(src=1, dst=2, size=100 + index,
+                                        protocol="test"), now=0)
+
+    def test_clean_queue_has_no_problems(self):
+        queue = DropTailQueue(capacity=8)
+        self.fill(queue)
+        queue.dequeue(now=0)
+        assert audit_queue(queue, name="sw.port0") == []
+
+    def test_counter_tamper_detected_and_named(self):
+        queue = DropTailQueue(capacity=8)
+        self.fill(queue)
+        queue.packets_enqueued += 5
+        problems = audit_queue(queue, name="sw.port0")
+        assert problems
+        assert any("sw.port0" in problem for problem in problems)
+
+    def test_silent_removal_detected(self):
+        queue = DropTailQueue(capacity=8)
+        self.fill(queue)
+        queue._fifo.pop()  # bypass dequeue(): counters now lie
+        problems = audit_queue(queue, name="evil")
+        assert any("len(queue)" in problem for problem in problems)
+
+    def test_byte_mismatch_detected(self):
+        queue = DropTailQueue(capacity=8)
+        self.fill(queue)
+        queue.bytes_queued += 7
+        problems = audit_queue(queue)
+        assert any("bytes" in problem for problem in problems)
+
+    def test_negative_counter_detected(self):
+        queue = DropTailQueue(capacity=8)
+        queue.packets_dropped = -1
+        problems = audit_queue(queue)
+        assert any("negative" in problem for problem in problems)
+
+    def test_network_wide_audit_clean_after_run(self):
+        sim = Simulator()
+        net, sender, receiver, sink = build_pair(sim)
+        for _ in range(5):
+            sender.send(make_packet(sender, receiver))
+        sim.run()
+        assert audit_network_queues(net) == []
+
+
+class LeakyQueue(DropTailQueue):
+    """Evil discipline: silently discards every second admitted packet."""
+
+    def __init__(self, capacity):
+        super().__init__(capacity)
+        self._admitted = 0
+
+    def _admit(self, packet, now):
+        self._admitted += 1
+        if self._admitted % 2 == 0:
+            return True  # claim success, keep nothing: the packet leaks
+        return super()._admit(packet, now)
+
+
+class TestPacketLedger:
+    def test_clean_run_conserves(self):
+        sim = Simulator()
+        sim.ledger = PacketLedger()
+        _, sender, receiver, sink = build_pair(sim)
+        for _ in range(5):
+            sender.send(make_packet(sender, receiver))
+        sim.run()
+        report = sim.ledger.finalize(sim)
+        assert report.ok
+        assert report.injected == 5
+        assert report.delivered == 5
+        assert report.dropped == 0
+        assert report.in_flight == 0
+        assert "OK" in report.summary()
+
+    def test_accounted_drops_are_not_leaks(self):
+        sim = Simulator()
+        sim.ledger = PacketLedger()
+        _, sender, receiver, sink = build_pair(
+            sim, queue_factory=lambda: DropTailQueue(capacity=2))
+        for _ in range(10):  # burst at t=0 overflows the 2-packet queue
+            sender.send(make_packet(sender, receiver))
+        sim.run()
+        report = sim.ledger.finalize(sim)
+        assert report.ok
+        assert report.dropped > 0
+        assert report.injected == report.delivered + report.dropped
+        assert any(key.endswith(":queue_full")
+                   for key in report.drop_reasons)
+
+    def test_leak_names_the_component(self):
+        sim = Simulator()
+        sim.ledger = PacketLedger()
+        _, sender, receiver, sink = build_pair(
+            sim, queue_factory=lambda: LeakyQueue(capacity=32))
+        for _ in range(6):
+            sender.send(make_packet(sender, receiver))
+        sim.run()
+        report = sim.ledger.finalize(sim)
+        assert not report.ok
+        assert report.leaked
+        # Every leak is pinned to the evil port's queue.
+        assert all(location == "queued@sender->receiver"
+                   for _uid, location in report.leaked)
+        # The queue's own counters independently expose the corruption.
+        assert any("sender->receiver" in problem
+                   for problem in report.accounting)
+        assert "LEAK" in report.summary()
+
+    def test_undelivered_protocol_counts_as_drop(self):
+        sim = Simulator()
+        sim.ledger = PacketLedger()
+        _, sender, receiver, sink = build_pair(sim)
+        packet = make_packet(sender, receiver)
+        packet.protocol = "nobody-home"
+        sender.send(packet)
+        sim.run()
+        report = sim.ledger.finalize(sim)
+        assert report.ok
+        assert report.dropped == 1
+        assert "receiver:no_protocol" in report.drop_reasons
+
+    def test_in_flight_tolerated_on_bounded_run(self):
+        sim = Simulator()
+        sim.ledger = PacketLedger()
+        _, sender, receiver, sink = build_pair(sim)
+        sender.send(make_packet(sender, receiver))
+        sim.run(until=500)  # propagation takes 1000ns: packet still flying
+        report = sim.ledger.finalize(sim)
+        assert report.ok
+        assert report.in_flight == 1
+
+
+class TestExperimentConservation:
+    """Acceptance: the ledger passes on real experiment topologies."""
+
+    def test_fig5_mtp_conserves_packets(self):
+        sim = Simulator()
+        sim.ledger = PacketLedger()
+        run_fig5("mtp", Fig5Config(duration_ns=microseconds(300)), sim=sim)
+        report = sim.ledger.finalize(sim)
+        assert report.injected > 0
+        assert report.ok, report.summary()
+
+    def test_fig5_dctcp_conserves_packets(self):
+        sim = Simulator()
+        sim.ledger = PacketLedger()
+        run_fig5("dctcp", Fig5Config(duration_ns=microseconds(300)), sim=sim)
+        report = sim.ledger.finalize(sim)
+        assert report.injected > 0
+        assert report.ok, report.summary()
+
+    def test_fig2_proxy_conserves_packets(self):
+        sim = Simulator()
+        sim.ledger = PacketLedger()
+        run_fig2(Fig2Config(transfer_bytes=256 * 1024,
+                            duration_ns=microseconds(800)), sim=sim)
+        report = sim.ledger.finalize(sim)
+        assert report.injected > 0
+        assert report.ok, report.summary()

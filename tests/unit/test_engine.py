@@ -155,3 +155,76 @@ class TestTimer:
         assert timer.expiry_time is None
         timer.start(30)
         assert timer.expiry_time == 30
+
+
+class TestCancellationBookkeeping:
+    """pending_events() is O(1) and the heap compacts away cancelled junk."""
+
+    def test_pending_events_counts_live_only(self, sim):
+        handles = [sim.schedule(10 + index, lambda: None)
+                   for index in range(10)]
+        assert sim.pending_events() == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events() == 6
+
+    def test_double_cancel_counted_once(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events() == 1
+
+    def test_cancel_after_fire_does_not_skew(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        handle.cancel()  # already fired: a no-op
+        assert sim.pending_events() == 0
+
+    def test_run_drains_cancelled_entries(self, sim):
+        fired = []
+        live = sim.schedule(50, fired.append, "live")
+        doomed = [sim.schedule(5 + index, fired.append, "doomed")
+                  for index in range(20)]
+        for handle in doomed:
+            handle.cancel()
+        sim.run()
+        assert fired == ["live"]
+        assert sim.pending_events() == 0
+        assert live.time == 50
+
+    def test_heap_compaction_sheds_cancelled_entries(self, sim):
+        from repro.sim.engine import COMPACT_MIN_CANCELLED
+        total = 4 * COMPACT_MIN_CANCELLED
+        handles = [sim.schedule(1000 + index, lambda: None)
+                   for index in range(total)]
+        # Cancel enough that cancelled entries dominate the heap.
+        for handle in handles[: total - 10]:
+            handle.cancel()
+        sim.peek_time()  # triggers _maybe_compact()
+        assert len(sim._queue) == 10
+        assert sim.pending_events() == 10
+
+    def test_compaction_preserves_order_and_results(self, sim):
+        from repro.sim.engine import COMPACT_MIN_CANCELLED
+        order = []
+        keep = []
+        total = 4 * COMPACT_MIN_CANCELLED
+        for index in range(total):
+            handle = sim.schedule(10 + index, order.append, index)
+            if index % 16 != 0:
+                handle.cancel()
+            else:
+                keep.append(index)
+        sim.peek_time()
+        sim.run()
+        assert order == keep
+
+    def test_no_compaction_below_threshold(self, sim):
+        handles = [sim.schedule(10 + index, lambda: None)
+                   for index in range(8)]
+        for handle in handles[2:]:  # keep the heap top live
+            handle.cancel()
+        sim.peek_time()
+        assert len(sim._queue) == 8  # too few cancellations to bother
+        assert sim.pending_events() == 2
