@@ -15,7 +15,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture
 def report():
     """Returns write(name, text): saves and echoes a report."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
     def write(name: str, text: str) -> None:
         path = RESULTS_DIR / f"{name}.txt"

@@ -9,22 +9,31 @@ entity congestion control deliberately trades that per-flow aggression
 away (it is exactly what Figure 7 exploits for isolation).
 """
 
+import os
+
 from repro.experiments import Fig6Config, compare_fig6
 from repro.experiments.common import format_table
+from repro.perf import sweep_map
 from repro.sim import milliseconds
 
 LOADS = (0.3, 0.55, 0.75)
 
+#: Worker processes for the sweep (see test_sweep_flip_period).
+SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "4"))
+
+
+def _load_point(load):
+    """Sweep worker (module-level so it pickles into worker processes)."""
+    config = Fig6Config(offered_load=load,
+                        duration_ns=milliseconds(6),
+                        seed=3)
+    return compare_fig6(config)
+
 
 def test_mtp_lb_tail_advantage_across_loads(benchmark, report):
     def sweep():
-        results = {}
-        for load in LOADS:
-            config = Fig6Config(offered_load=load,
-                                duration_ns=milliseconds(6),
-                                seed=3)
-            results[load] = compare_fig6(config)
-        return results
+        return dict(zip(LOADS, sweep_map(_load_point, LOADS,
+                                         jobs=SWEEP_JOBS)))
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = []

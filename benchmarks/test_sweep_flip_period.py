@@ -15,24 +15,39 @@ pathlet per flip) costs real goodput too — but it still roughly doubles
 DCTCP.
 """
 
+import os
+
 import pytest
 
 from repro.experiments import Fig5Config, run_fig5
 from repro.experiments.common import format_table
+from repro.perf import sweep_map
 from repro.sim import microseconds, milliseconds
 
 PERIODS_US = (96, 384, 1536)
 
+#: Worker processes for the sweep (points are independent simulations;
+#: the merge is input-ordered, so results are identical for any value).
+SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "4"))
+
+
+def _flip_point(job):
+    """Sweep worker (module-level so it pickles into worker processes)."""
+    period_us, protocol = job
+    config = Fig5Config(flip_period_ns=microseconds(period_us),
+                        duration_ns=milliseconds(4.5))
+    return run_fig5(protocol, config)
+
 
 def test_mtp_wins_at_every_flip_period(benchmark, report):
+    points = [(period_us, protocol) for period_us in PERIODS_US
+              for protocol in ("dctcp", "mtp")]
+
     def sweep():
         results = {}
-        for period_us in PERIODS_US:
-            config = Fig5Config(flip_period_ns=microseconds(period_us),
-                                duration_ns=milliseconds(4.5))
-            results[period_us] = {
-                protocol: run_fig5(protocol, config)
-                for protocol in ("dctcp", "mtp")}
+        for (period_us, protocol), result in zip(
+                points, sweep_map(_flip_point, points, jobs=SWEEP_JOBS)):
+            results.setdefault(period_us, {})[protocol] = result
         return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

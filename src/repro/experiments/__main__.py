@@ -5,6 +5,11 @@ Usage::
     python -m repro.experiments            # run everything (a few minutes)
     python -m repro.experiments table1 fig5
     python -m repro.experiments --quick    # shorter simulations
+    python -m repro.experiments --jobs 4   # experiments in parallel
+
+Reports go to stdout; progress/timing chatter goes to stderr, so stdout
+is byte-identical for any ``--jobs`` value (each experiment seeds its
+own simulator — parallelism cannot perturb results, only wall clock).
 
 Benchmark-grade runs with timings live in ``pytest benchmarks/
 --benchmark-only``; this runner is the human-friendly front end.
@@ -16,6 +21,7 @@ import argparse
 import sys
 import time
 
+from ..perf import sweep_map
 from ..sim import milliseconds
 from .ablations import (ablate_feedback_types, ablate_message_atomicity,
                         ablate_pathlet_granularity)
@@ -147,6 +153,18 @@ EXPERIMENTS = {
 }
 
 
+def _run_experiment(job):
+    """Sweep worker: one ``(name, quick)`` point -> ``(name, report, s)``.
+
+    Module-level so :func:`repro.perf.sweep_map` can pickle it into
+    worker processes when ``--jobs N`` fans experiments out.
+    """
+    name, quick = job
+    started = time.time()
+    report = EXPERIMENTS[name](quick)
+    return name, report, time.time() - started
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -156,6 +174,9 @@ def main(argv=None) -> int:
                              f"{', '.join(EXPERIMENTS)})")
     parser.add_argument("--quick", action="store_true",
                         help="shorter simulations (coarser numbers)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments in N worker processes "
+                             "(stdout is identical for any N)")
     args = parser.parse_args(argv)
     unknown = [name for name in args.experiments
                if name not in EXPERIMENTS]
@@ -163,11 +184,14 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiments {unknown}; "
                      f"choose from {', '.join(EXPERIMENTS)}")
     selected = args.experiments or list(EXPERIMENTS)
-    for name in selected:
-        started = time.time()
+    jobs = [(name, args.quick) for name in selected]
+    for name, report, elapsed in sweep_map(_run_experiment, jobs,
+                                           jobs=args.jobs):
         print(f"=== {name} " + "=" * (60 - len(name)))
-        print(EXPERIMENTS[name](args.quick))
-        print(f"--- {name} finished in {time.time() - started:.1f}s\n")
+        print(report)
+        print()
+        print(f"--- {name} finished in {elapsed:.1f}s",
+              file=sys.stderr)
     return 0
 
 

@@ -9,16 +9,22 @@ decisions").
   delay feedback, showing the multi-algorithm machinery end to end.
 * **Message atomicity** — the Figure-6 MTP balancer with and without
   intra-message spraying.
+
+Each driver takes a ``jobs`` argument: ablation points are independent
+simulations, so they fan out over worker processes via
+:func:`repro.perf.sweep_map`.  Results are merged in point order —
+output is identical for any ``jobs`` value.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..core import (BlobReceiver, BlobSender, DelayFeedbackSource,
                     EcnFeedbackSource, MtpStack, PathletRegistry,
                     RateFeedbackSource)
 from ..net import DropTailQueue, Network, RateMonitor
+from ..perf import sweep_map
 from ..sim import Simulator, gbps, microseconds, milliseconds
 from .fig5_multipath import Fig5Config, Fig5Result, run_fig5
 from .fig6_loadbalance import Fig6Config, Fig6Result, run_fig6
@@ -27,34 +33,88 @@ __all__ = ["ablate_pathlet_granularity", "ablate_feedback_types",
            "ablate_message_atomicity", "FEEDBACK_SOURCES"]
 
 
-def ablate_pathlet_granularity(config: Optional[Fig5Config] = None
-                               ) -> Dict[str, Fig5Result]:
+def _pathlet_point(config: Fig5Config) -> Fig5Result:
+    """Sweep worker: one pathlet-granularity point (picklable)."""
+    return run_fig5("mtp", config)
+
+
+def ablate_pathlet_granularity(config: Optional[Fig5Config] = None,
+                               jobs: int = 1) -> Dict[str, Fig5Result]:
     """Figure-5 scenario: per-link pathlets vs a single global pathlet."""
     base = config or Fig5Config()
-    results = {}
-    for mode in ("per_link", "single"):
-        mode_config = Fig5Config(
-            fast_rate_bps=base.fast_rate_bps,
-            slow_rate_bps=base.slow_rate_bps,
-            flip_period_ns=base.flip_period_ns,
-            link_delay_ns=base.link_delay_ns,
-            buffer_packets=base.buffer_packets,
-            ecn_threshold=base.ecn_threshold,
-            sample_interval_ns=base.sample_interval_ns,
-            duration_ns=base.duration_ns,
-            warmup_ns=base.warmup_ns,
-            pathlet_mode=mode,
-            tcp_min_rto_ns=base.tcp_min_rto_ns)
-        results[mode] = run_fig5("mtp", mode_config)
-    return results
+    modes = ("per_link", "single")
+    configs = [Fig5Config(
+        fast_rate_bps=base.fast_rate_bps,
+        slow_rate_bps=base.slow_rate_bps,
+        flip_period_ns=base.flip_period_ns,
+        link_delay_ns=base.link_delay_ns,
+        buffer_packets=base.buffer_packets,
+        ecn_threshold=base.ecn_threshold,
+        sample_interval_ns=base.sample_interval_ns,
+        duration_ns=base.duration_ns,
+        warmup_ns=base.warmup_ns,
+        pathlet_mode=mode,
+        tcp_min_rto_ns=base.tcp_min_rto_ns) for mode in modes]
+    return dict(zip(modes, sweep_map(_pathlet_point, configs, jobs=jobs)))
 
 
 FEEDBACK_SOURCES = ("ecn", "rate", "delay")
 
 
+def _feedback_point(job: Tuple[str, int, int, int]) -> Dict:
+    """Sweep worker: one feedback-dialect point (picklable)."""
+    kind, duration_ns, bottleneck_bps, n_competing = job
+    sim = Simulator()
+    net = Network(sim)
+    sw = net.add_switch("sw")
+    sink = net.add_host("sink")
+    bottleneck = net.connect(sw, sink, bottleneck_bps, microseconds(5),
+                             queue_factory=lambda: DropTailQueue(256,
+                                                                 20))
+    senders = []
+    for index in range(n_competing):
+        host = net.add_host(f"h{index}")
+        net.connect(host, sw, bottleneck_bps, microseconds(1))
+        senders.append(host)
+    net.install_routes()
+    registry = PathletRegistry(sim)
+    port = bottleneck.port_a
+    if kind == "ecn":
+        source = EcnFeedbackSource(20)
+    elif kind == "rate":
+        source = RateFeedbackSource(sim, port,
+                                    avg_rtt_ns=microseconds(15))
+    else:
+        source = DelayFeedbackSource()
+    registry.register(port, source)
+    monitor = RateMonitor(sim, microseconds(50))
+    sink_stack = MtpStack(sink)
+    sink_stack.endpoint(
+        port=100,
+        on_message=lambda ep, msg: monitor.record_bytes(msg.size))
+    peak_queue = [0]
+    for host in senders:
+        endpoint = MtpStack(host).endpoint()
+        BlobSender(endpoint, sink.address, 100, total_bytes=1 << 40,
+                   window_messages=64)
+
+    def sample_queue():
+        peak_queue[0] = max(peak_queue[0], len(port.queue))
+        sim.schedule(microseconds(10), sample_queue)
+
+    sample_queue()
+    sim.run(until=duration_ns)
+    return {
+        "goodput_bps": monitor.mean_bps(microseconds(500), duration_ns),
+        "peak_queue_pkts": peak_queue[0],
+        "capacity_bps": bottleneck_bps,
+    }
+
+
 def ablate_feedback_types(duration_ns: int = milliseconds(4),
                           bottleneck_bps: int = gbps(10),
-                          n_competing: int = 4) -> Dict[str, Dict]:
+                          n_competing: int = 4,
+                          jobs: int = 1) -> Dict[str, Dict]:
     """One bottleneck, three feedback dialects, same workload.
 
     ``n_competing`` hosts blast blobs through a shared 10 Gbps link whose
@@ -62,74 +122,35 @@ def ablate_feedback_types(duration_ns: int = milliseconds(4),
     goodput and peak queue for each — all three should fill the link while
     the signal-specific controllers keep the queue bounded.
     """
-    results = {}
-    for kind in FEEDBACK_SOURCES:
-        sim = Simulator()
-        net = Network(sim)
-        sw = net.add_switch("sw")
-        sink = net.add_host("sink")
-        bottleneck = net.connect(sw, sink, bottleneck_bps, microseconds(5),
-                                 queue_factory=lambda: DropTailQueue(256,
-                                                                     20))
-        senders = []
-        for index in range(n_competing):
-            host = net.add_host(f"h{index}")
-            net.connect(host, sw, bottleneck_bps, microseconds(1))
-            senders.append(host)
-        net.install_routes()
-        registry = PathletRegistry(sim)
-        port = bottleneck.port_a
-        if kind == "ecn":
-            source = EcnFeedbackSource(20)
-        elif kind == "rate":
-            source = RateFeedbackSource(sim, port,
-                                        avg_rtt_ns=microseconds(15))
-        else:
-            source = DelayFeedbackSource()
-        registry.register(port, source)
-        monitor = RateMonitor(sim, microseconds(50))
-        sink_stack = MtpStack(sink)
-        sink_stack.endpoint(
-            port=100,
-            on_message=lambda ep, msg: monitor.record_bytes(msg.size))
-        peak_queue = [0]
-        for host in senders:
-            endpoint = MtpStack(host).endpoint()
-            BlobSender(endpoint, sink.address, 100, total_bytes=1 << 40,
-                       window_messages=64)
-
-        def sample_queue():
-            peak_queue[0] = max(peak_queue[0], len(port.queue))
-            sim.schedule(microseconds(10), sample_queue)
-
-        sample_queue()
-        sim.run(until=duration_ns)
-        results[kind] = {
-            "goodput_bps": monitor.mean_bps(microseconds(500), duration_ns),
-            "peak_queue_pkts": peak_queue[0],
-            "capacity_bps": bottleneck_bps,
-        }
-    return results
+    points = [(kind, duration_ns, bottleneck_bps, n_competing)
+              for kind in FEEDBACK_SOURCES]
+    return dict(zip(FEEDBACK_SOURCES,
+                    sweep_map(_feedback_point, points, jobs=jobs)))
 
 
-def ablate_message_atomicity(config: Optional[Fig6Config] = None
-                             ) -> Dict[str, Fig6Result]:
+def _atomicity_point(config: Fig6Config) -> Fig6Result:
+    """Sweep worker: one message-atomicity point (picklable)."""
+    return run_fig6("mtp_lb", config)
+
+
+def ablate_message_atomicity(config: Optional[Fig6Config] = None,
+                             jobs: int = 1) -> Dict[str, Fig6Result]:
     """Figure-6 MTP balancer with message atomicity on vs off."""
     base = config or Fig6Config()
-    results = {}
-    for label, spray in (("atomic", False), ("sprayed", True)):
-        mode_config = Fig6Config(
-            path_rate_bps=base.path_rate_bps,
-            extra_delay_ns=base.extra_delay_ns,
-            base_delay_ns=base.base_delay_ns,
-            min_message_bytes=base.min_message_bytes,
-            max_message_bytes=base.max_message_bytes,
-            offered_load=base.offered_load,
-            duration_ns=base.duration_ns,
-            buffer_packets=base.buffer_packets,
-            ecn_threshold=base.ecn_threshold,
-            seed=base.seed,
-            tcp_min_rto_ns=base.tcp_min_rto_ns,
-            mtp_intra_message_spray=spray)
-        results[label] = run_fig6("mtp_lb", mode_config)
-    return results
+    labels = ("atomic", "sprayed")
+    configs = [Fig6Config(
+        path_rate_bps=base.path_rate_bps,
+        extra_delay_ns=base.extra_delay_ns,
+        base_delay_ns=base.base_delay_ns,
+        min_message_bytes=base.min_message_bytes,
+        max_message_bytes=base.max_message_bytes,
+        offered_load=base.offered_load,
+        duration_ns=base.duration_ns,
+        buffer_packets=base.buffer_packets,
+        ecn_threshold=base.ecn_threshold,
+        seed=base.seed,
+        tcp_min_rto_ns=base.tcp_min_rto_ns,
+        mtp_intra_message_spray=spray)
+        for spray in (False, True)]
+    return dict(zip(labels,
+                    sweep_map(_atomicity_point, configs, jobs=jobs)))

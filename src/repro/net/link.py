@@ -95,7 +95,9 @@ class Port:
         self._busy = True
         tx_delay = transmission_delay(packet.size, self.rate_bps)
         self.busy_until = self.sim.now + tx_delay
-        self.sim.schedule(tx_delay, self._finish_transmission, packet)
+        # Serialization completions are never cancelled: use the
+        # handle-free fast path (one tuple instead of tuple + handle).
+        self.sim.schedule_fast(tx_delay, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         self.bytes_transmitted += packet.size
@@ -103,7 +105,8 @@ class Port:
         if self.on_transmit is not None:
             self.on_transmit(packet)
         # Propagation: packet arrives at the peer after the link delay.
-        self.sim.schedule(self.delay_ns, self._deliver, packet)
+        # Packets on the wire cannot be recalled — fast path again.
+        self.sim.schedule_fast(self.delay_ns, self._deliver, packet)
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:

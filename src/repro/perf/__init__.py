@@ -1,0 +1,30 @@
+"""repro.perf: kernel microbenchmarks and parallel sweep utilities.
+
+Two halves:
+
+* :mod:`repro.perf.parallel` — :func:`sweep_map`, the process-parallel
+  fan-out with a deterministic input-order merge used by
+  ``python -m repro.experiments --jobs N``, the ablation drivers, and
+  the sweep benchmarks.
+* :mod:`repro.perf.bench` — microbenchmarks for the event kernel
+  (events/sec, timer-restart throughput, figure-5 wall clock) and the
+  ``BENCH_kernel.json`` trajectory file they maintain.  Run via
+  ``python -m repro.perf``.
+"""
+
+from .bench import (BENCH_FILE, bench_event_throughput, bench_fig5_wallclock,
+                    bench_timer_restarts, check_regression, load_baseline,
+                    run_benchmarks, update_trajectory)
+from .parallel import sweep_map
+
+__all__ = [
+    "BENCH_FILE",
+    "bench_event_throughput",
+    "bench_fig5_wallclock",
+    "bench_timer_restarts",
+    "check_regression",
+    "load_baseline",
+    "run_benchmarks",
+    "sweep_map",
+    "update_trajectory",
+]

@@ -1,0 +1,114 @@
+"""Kernel benchmark CLI: measure, track, and gate on BENCH_kernel.json.
+
+Usage::
+
+    python -m repro.perf                   # measure, print a table
+    python -m repro.perf --update          # ...and refresh BENCH_kernel.json
+    python -m repro.perf --quick --check   # CI perf smoke: fail on >30%
+                                           # events/sec regression vs the
+                                           # committed baseline
+
+``--check`` compares throughput metrics (events/sec and timer
+restarts/sec, both schedulers) against the committed baseline and exits
+non-zero when any falls more than ``--tolerance`` below it.  Quick and
+full runs are never compared against each other: a baseline recorded
+with a different ``--quick`` setting is rejected unless ``--update``
+establishes a new one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+
+from .bench import (BENCH_FILE, check_regression, load_baseline,
+                    run_benchmarks, update_trajectory)
+
+
+def _format_metrics(metrics) -> str:
+    lines = ["kernel microbenchmarks "
+             f"({'quick' if metrics['quick'] else 'full'} mode):"]
+    for scheduler in ("heap", "wheel"):
+        lines.append(
+            f"  {scheduler:<6} "
+            f"{metrics[f'events_per_sec_{scheduler}']:>12,.0f} events/s  "
+            f"{metrics[f'timer_restarts_per_sec_{scheduler}']:>12,.0f} "
+            f"restarts/s  "
+            f"fig5 {metrics[f'fig5_wallclock_sec_{scheduler}']:.2f}s")
+    lines.append(
+        f"  wheel vs heap: {metrics['wheel_restart_speedup']:.2f}x timer "
+        f"restarts, {metrics['wheel_event_speedup']:.2f}x events")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Event-kernel microbenchmarks and the "
+                    "BENCH_kernel.json trajectory.")
+    parser.add_argument("--quick", action="store_true",
+                        help="~4x smaller workloads (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="best-of-N per microbenchmark (default 3)")
+    parser.add_argument("--update", action="store_true",
+                        help="write results to the trajectory file")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on throughput regression vs the "
+                             "committed baseline")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help=f"baseline/trajectory file "
+                             f"(default {BENCH_FILE.name} at repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        metavar="FRACTION",
+                        help="allowed fractional throughput drop for "
+                             "--check (default 0.30)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="also dump this run's measured metrics as "
+                             "JSON to PATH (CI artifact)")
+    args = parser.parse_args(argv)
+
+    path = args.baseline if args.baseline is not None else BENCH_FILE
+    metrics = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    print(_format_metrics(metrics))
+    if args.out is not None:
+        args.out.write_text(json.dumps(metrics, indent=2, sort_keys=True)
+                            + "\n")
+
+    status = 0
+    if args.check:
+        baseline = load_baseline(path)
+        if baseline is None:
+            print(f"error: --check without a baseline at {path}",
+                  file=sys.stderr)
+            status = 2
+        elif baseline.get("metrics", {}).get("quick") != metrics["quick"]:
+            print("error: baseline was recorded in "
+                  f"{'quick' if baseline['metrics'].get('quick') else 'full'}"
+                  " mode; re-run with matching --quick or --update a new "
+                  "baseline", file=sys.stderr)
+            status = 2
+        else:
+            failures = check_regression(metrics, baseline,
+                                        tolerance=args.tolerance)
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            if failures:
+                status = 1
+            else:
+                print(f"--check ok: all throughputs within "
+                      f"{args.tolerance:.0%} of baseline")
+
+    if args.update:
+        stamp = datetime.date.today().isoformat()
+        update_trajectory(metrics, stamp, path=path)
+        print(f"trajectory updated: {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Differential scheduler correctness: heap vs timer wheel.
+
+The timer wheel is only allowed into the kernel because it is
+*observationally identical* to the binary heap: same events, same
+virtual times, same order.  These tests prove it differentially with the
+replay machinery — the same experiment is traced once per scheduler and
+the digests (over every executed event's ``(time, kind, packet-uid)``)
+must match byte-for-byte on the paper's own workloads.
+"""
+
+import pytest
+
+from repro.analysis import check_replay, find_divergence, trace_run
+from repro.experiments.fig2_proxy import Fig2Config, run_fig2
+from repro.experiments.fig5_multipath import Fig5Config, run_fig5
+from repro.sim import Simulator, microseconds
+
+
+def _digests(setup):
+    """(heap_trace, wheel_trace) for one experiment setup."""
+    heap_trace, _ = trace_run(setup,
+                              sim_factory=lambda: Simulator("heap"))
+    wheel_trace, _ = trace_run(setup,
+                               sim_factory=lambda: Simulator("wheel"))
+    return heap_trace, wheel_trace
+
+
+def _assert_identical(heap_trace, wheel_trace):
+    divergence = find_divergence(heap_trace, wheel_trace)
+    assert divergence is None, divergence.describe()
+    assert heap_trace.digest() == wheel_trace.digest()
+    assert len(heap_trace) > 0
+
+
+class TestSchedulerDifferential:
+    def test_fig2_proxy_identical_traces(self):
+        config = Fig2Config(duration_ns=microseconds(200))
+
+        def setup(sim):
+            return run_fig2(config, sim=sim)
+
+        heap_trace, wheel_trace = _digests(setup)
+        _assert_identical(heap_trace, wheel_trace)
+
+    @pytest.mark.parametrize("protocol", ["dctcp", "mtp"])
+    def test_fig5_multipath_identical_traces(self, protocol):
+        config = Fig5Config(duration_ns=microseconds(300))
+
+        def setup(sim):
+            return run_fig5(protocol, config, sim=sim)
+
+        heap_trace, wheel_trace = _digests(setup)
+        _assert_identical(heap_trace, wheel_trace)
+
+    def test_fig5_results_identical_across_schedulers(self):
+        config = Fig5Config(duration_ns=microseconds(300))
+        by_scheduler = {
+            name: run_fig5("mtp", config, sim=Simulator(name))
+            for name in ("heap", "wheel")}
+        assert (by_scheduler["heap"].series
+                == by_scheduler["wheel"].series)
+
+    def test_wheel_replays_itself(self):
+        # The wheel is also self-deterministic: two wheel runs of the
+        # same seeded experiment produce identical digests.
+        config = Fig5Config(duration_ns=microseconds(200))
+        report = check_replay(lambda sim: run_fig5("mtp", config, sim=sim),
+                              sim_factory=lambda: Simulator("wheel"))
+        assert report.ok, report.describe()

@@ -1,8 +1,20 @@
-"""Event kernel: ordering, cancellation, timers, bounded runs."""
+"""Event kernel: ordering, cancellation, timers, bounded runs.
+
+The ``sim`` fixture here is parametrized over both event stores (binary
+heap and hierarchical timer wheel): every kernel-semantics test must pass
+identically on both.  Heap-specific compaction bookkeeping pins the heap
+explicitly.
+"""
 
 import pytest
 
 from repro.sim import SimulationError, Simulator, Timer
+
+
+@pytest.fixture(params=["heap", "wheel"])
+def sim(request):
+    """A fresh simulator per event-store implementation."""
+    return Simulator(scheduler=request.param)
 
 
 class TestScheduling:
@@ -158,7 +170,16 @@ class TestTimer:
 
 
 class TestCancellationBookkeeping:
-    """pending_events() is O(1) and the heap compacts away cancelled junk."""
+    """pending_events() is O(1) and the heap compacts away cancelled junk.
+
+    Compaction is a heap-scheduler implementation detail, so this class
+    pins ``scheduler="heap"`` (the wheel sheds cancelled entries when
+    their slot drains instead; see TestTimerWheel in test_timer_wheel.py).
+    """
+
+    @pytest.fixture
+    def sim(self):
+        return Simulator(scheduler="heap")
 
     def test_pending_events_counts_live_only(self, sim):
         handles = [sim.schedule(10 + index, lambda: None)
@@ -202,7 +223,7 @@ class TestCancellationBookkeeping:
         for handle in handles[: total - 10]:
             handle.cancel()
         sim.peek_time()  # triggers _maybe_compact()
-        assert len(sim._queue) == 10
+        assert sim.queued_entries() == 10
         assert sim.pending_events() == 10
 
     def test_compaction_preserves_order_and_results(self, sim):
@@ -226,5 +247,179 @@ class TestCancellationBookkeeping:
         for handle in handles[2:]:  # keep the heap top live
             handle.cancel()
         sim.peek_time()
-        assert len(sim._queue) == 8  # too few cancellations to bother
+        assert sim.queued_entries() == 8  # too few cancellations to bother
         assert sim.pending_events() == 2
+
+
+class TestScheduleFast:
+    """Handle-free scheduling: same semantics, no cancellation."""
+
+    def test_returns_none(self, sim):
+        assert sim.schedule_fast(5, lambda: None) is None
+
+    def test_interleaves_with_handled_events_in_seq_order(self, sim):
+        order = []
+        sim.schedule(10, order.append, "a")
+        sim.schedule_fast(10, order.append, "b")
+        sim.schedule(10, order.append, "c")
+        sim.schedule_fast(5, order.append, "first")
+        sim.run()
+        assert order == ["first", "a", "b", "c"]
+
+    def test_rejects_negative_delay(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_fast(-1, lambda: None)
+
+    def test_counts_as_pending(self, sim):
+        sim.schedule_fast(10, lambda: None)
+        assert sim.pending_events() == 1
+        sim.run()
+        assert sim.pending_events() == 0
+
+    def test_args_are_passed(self, sim):
+        seen = []
+        sim.schedule_fast(1, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+    def test_survives_bounded_run_boundary(self, sim):
+        fired = []
+        sim.schedule_fast(100, fired.append, "late")
+        sim.run(until=50)
+        assert fired == []
+        sim.run()
+        assert fired == ["late"]
+
+    def test_fast_events_visible_to_event_hooks(self, sim):
+        seen = []
+        sim.add_event_hook(lambda time, cb, args: seen.append(time))
+        sim.schedule_fast(7, lambda: None)
+        sim.run()
+        assert seen == [7]
+
+
+class TestBoundedRunChurn:
+    """run(until=...) peeks instead of pop/re-pushing the first
+    out-of-window event (the old boundary churn)."""
+
+    def test_run_for_loop_preserves_entry(self, sim):
+        fired = []
+        sim.schedule(10_000, fired.append, "late")
+        before = sim.queued_entries()
+        for _ in range(50):
+            sim.run_for(100)
+        # The out-of-window event was never popped and re-pushed, and no
+        # churn entries accumulated.
+        assert sim.queued_entries() == before
+        assert fired == []
+        sim.run()
+        assert fired == ["late"]
+
+    def test_boundary_exact_time_still_fires(self, sim):
+        fired = []
+        sim.schedule(50, fired.append, "edge")
+        sim.run(until=50)
+        assert fired == ["edge"]
+        assert sim.now == 50
+
+
+class TestEventHandleOrderingInvariant:
+    """Entries are (time, seq, handle) tuples with unique (time, seq):
+    comparison never reaches the handle, so EventHandle defines no
+    ordering.  This is a regression test for the removal of the dead
+    EventHandle.__lt__ (it could mask a broken-invariant bug)."""
+
+    def test_handles_are_not_orderable(self, sim):
+        a = sim.schedule(1, lambda: None)
+        b = sim.schedule(2, lambda: None)
+        with pytest.raises(TypeError):
+            a < b  # noqa: B015  (the comparison itself is the assertion)
+
+    def test_mass_same_tick_fifo(self, sim):
+        # If tuple comparison ever reached element 2, this would raise
+        # TypeError (unorderable handles) or scramble FIFO order.
+        order = []
+        for tag in range(500):
+            if tag % 2:
+                sim.schedule(10, order.append, tag)
+            else:
+                sim.schedule_fast(10, order.append, tag)
+        sim.run()
+        assert order == list(range(500))
+
+
+class TestTimerEdgeCases:
+    """Satellite coverage: restart storms, expiry_time after stop,
+    double start."""
+
+    def test_restart_storm_leaves_single_pending_event(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1_000_000)
+        for _ in range(10_000):
+            timer.restart(1_000_000)
+        assert sim.pending_events() == 1
+        if sim.scheduler == "heap":
+            # Compaction keeps the dead weight bounded: after peek_time()
+            # (which compacts when dominated) the heap is nearly clean.
+            sim.peek_time()
+            assert sim.queued_entries() - sim.pending_events() \
+                <= 2 * 10_000  # never compacts above 2x live... loose cap
+            # Tighter: cancelled junk is less than half the heap.
+            from repro.sim.engine import COMPACT_MIN_CANCELLED
+            junk = sim.queued_entries() - sim.pending_events()
+            assert junk <= max(COMPACT_MIN_CANCELLED,
+                               sim.queued_entries() // 2 + 1)
+
+    def test_restart_storm_fires_exactly_once(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        for _ in range(10_000):
+            timer.restart(500)
+        sim.run()
+        assert fired == [500]
+        assert sim.pending_events() == 0
+
+    def test_expiry_time_none_after_stop(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(30)
+        assert timer.expiry_time == 30
+        timer.stop()
+        assert timer.expiry_time is None
+        assert not timer.running
+
+    def test_expiry_time_none_after_fire(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(30)
+        sim.run()
+        assert timer.expiry_time is None
+
+    def test_start_raises_when_running(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(5)
+        with pytest.raises(SimulationError):
+            timer.start(7)
+        # ...but is fine again after stop() and after firing.
+        timer.stop()
+        timer.start(7)
+        sim.run()
+        timer.start(3)
+
+    def test_restart_tracks_latest_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        for delay in (200, 50, 300):
+            timer.restart(delay)
+        assert timer.expiry_time == 300
+        sim.run()
+        assert fired == [300]
+
+
+class TestSchedulerSelection:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(scheduler="calendar")
+
+    def test_scheduler_name_recorded(self):
+        assert Simulator().scheduler == "heap"
+        assert Simulator(scheduler="wheel").scheduler == "wheel"

@@ -1,0 +1,202 @@
+"""TimerWheelScheduler-specific tests.
+
+The wheel must (a) execute events in exactly the heap scheduler's
+``(time, seq)`` order — verified here on synthetic workloads and by the
+differential replay tests on real experiments — and (b) handle the
+structural edge cases a hierarchical wheel introduces: level-1 cascades,
+the far-future overflow heap, cursor jumps over empty regions, and
+shedding of lazily-cancelled entries as slots drain.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator, TimerWheelScheduler
+
+#: One level-0 slot at the default granularity.
+G0 = 4096
+#: Level-0 horizon (SLOTS * G0).
+L0_SPAN = 256 * G0
+#: Level-1 horizon; beyond this pushes land in the overflow heap.
+L1_SPAN = 256 * L0_SPAN
+
+
+def _run_order(scheduler, schedule_plan):
+    """Execute ``schedule_plan`` on a fresh sim, returning the fire log.
+
+    ``schedule_plan(sim, log)`` schedules events that append to ``log``.
+    """
+    sim = Simulator(scheduler=scheduler)
+    log = []
+    schedule_plan(sim, log)
+    sim.run()
+    return log
+
+
+def _assert_matches_heap(schedule_plan):
+    heap_log = _run_order("heap", schedule_plan)
+    wheel_log = _run_order("wheel", schedule_plan)
+    assert wheel_log == heap_log
+    return wheel_log
+
+
+class TestWheelMatchesHeapOrder:
+    def test_same_slot_fifo(self):
+        def plan(sim, log):
+            for index in range(20):
+                # All within one level-0 slot, many in the same tick.
+                sim.schedule(index % 3, log.append, index)
+
+        log = _assert_matches_heap(plan)
+        assert len(log) == 20
+
+    def test_cross_level_delays(self):
+        def plan(sim, log):
+            delays = [0, 1, G0 - 1, G0, G0 + 1, L0_SPAN - 1, L0_SPAN,
+                      L0_SPAN + 1, 7 * L0_SPAN + 13, L1_SPAN - 1,
+                      L1_SPAN, L1_SPAN + 12345, 3 * L1_SPAN]
+            for index, delay in enumerate(delays):
+                sim.schedule(delay, log.append, (delay, index))
+
+        log = _assert_matches_heap(plan)
+        assert len(log) == 13
+
+    def test_rescheduling_chains_cross_boundaries(self):
+        def plan(sim, log):
+            def hop(count, delay):
+                log.append((count, sim.now))
+                if count:
+                    sim.schedule_fast(delay, hop, count - 1, delay)
+
+            # Chains whose hops repeatedly cross L0-slot and L1-slot
+            # boundaries while interleaving with each other.
+            sim.schedule_fast(0, hop, 40, G0 - 7)
+            sim.schedule_fast(3, hop, 30, L0_SPAN // 3)
+            sim.schedule_fast(5, hop, 12, L0_SPAN + 17)
+
+        _assert_matches_heap(plan)
+
+    def test_randomized_schedule_matches_heap(self):
+        def plan(sim, log):
+            rng = random.Random(7)
+
+            def burst(depth):
+                log.append((depth, sim.now))
+                for _ in range(rng.randint(0, 2)):
+                    if depth < 6:
+                        sim.schedule_fast(rng.randint(0, 2 * L0_SPAN),
+                                          burst, depth + 1)
+
+            for _ in range(30):
+                sim.schedule_fast(rng.randint(0, L1_SPAN + L0_SPAN),
+                                  burst, 0)
+
+        _assert_matches_heap(plan)
+
+    def test_cancellations_interleaved(self):
+        def plan(sim, log):
+            handles = []
+            for index in range(60):
+                handles.append(sim.schedule((index * 37) % (2 * L0_SPAN),
+                                            log.append, index))
+            for index in range(0, 60, 3):
+                handles[index].cancel()
+
+        log = _assert_matches_heap(plan)
+        assert len(log) == 40
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2 * L1_SPAN),
+                    min_size=1, max_size=60),
+           st.data())
+    def test_property_order_and_cancels_match_heap(self, delays, data):
+        cancel_mask = data.draw(
+            st.lists(st.booleans(), min_size=len(delays),
+                     max_size=len(delays)))
+
+        def plan(sim, log):
+            handles = [sim.schedule(delay, log.append, index)
+                       for index, delay in enumerate(delays)]
+            for handle, cancel in zip(handles, cancel_mask):
+                if cancel:
+                    handle.cancel()
+
+        log = _assert_matches_heap(plan)
+        assert len(log) == cancel_mask.count(False)
+
+
+class TestWheelStructure:
+    def test_overflow_migrates_into_wheel(self):
+        sim = Simulator(scheduler="wheel")
+        fired = []
+        sim.schedule(3 * L1_SPAN + 5, fired.append, "far")
+        sim.schedule(10, fired.append, "near")
+        assert sim._sched._overflow  # far event parked beyond the horizon
+        sim.run()
+        assert fired == ["near", "far"]
+        assert not sim._sched._overflow
+        assert sim.now == 3 * L1_SPAN + 5
+
+    def test_cursor_jumps_over_empty_regions(self):
+        sim = Simulator(scheduler="wheel")
+        fired = []
+        sim.schedule(5 * L1_SPAN + 123, fired.append, "only")
+        sim.run()
+        assert fired == ["only"]
+        # A linear slot walk over 5 L1 spans would be ~330k slot visits;
+        # the jump makes this run in a handful of events.
+        assert sim.events_executed == 1
+
+    def test_cancelled_entries_shed_on_drain(self):
+        sim = Simulator(scheduler="wheel")
+        keep = sim.schedule(10 * G0, lambda: None)
+        for _ in range(500):
+            sim.schedule(3 * G0, lambda: None).cancel()
+        assert sim.pending_events() == 1
+        assert sim.queued_entries() == 501
+        sim.run()
+        # Draining the slot discarded the 500 dead entries wholesale.
+        assert sim.queued_entries() == 0
+        assert not keep.pending  # fired
+
+    def test_bounded_run_peeks_without_losing_events(self):
+        sim = Simulator(scheduler="wheel")
+        fired = []
+        sim.schedule(L0_SPAN + 3, fired.append, "later")
+        for _ in range(50):
+            sim.run_for(G0)  # each bounded run peeks past the horizon
+        assert fired == []
+        sim.run_for(L0_SPAN)
+        assert fired == ["later"]
+
+    def test_same_tick_scheduling_goes_to_bucket(self):
+        sim = Simulator(scheduler="wheel")
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(0, log.append, "same-tick")
+
+        sim.schedule(G0 * 3 + 1, first)
+        sim.run()
+        assert log == ["first", "same-tick"]
+
+    def test_granularity_validation(self):
+        with pytest.raises(ValueError):
+            TimerWheelScheduler(granularity_ns=0)
+        with pytest.raises(ValueError):
+            TimerWheelScheduler(granularity_ns=-5)
+
+    def test_pending_counts_track_cancels(self):
+        sim = Simulator(scheduler="wheel")
+        handles = [sim.schedule(index * 1000, lambda: None)
+                   for index in range(10)]
+        assert sim.pending_events() == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events() == 6
+        sim.run()
+        assert sim.pending_events() == 0
