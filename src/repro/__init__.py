@@ -15,12 +15,13 @@ Package map:
 * :mod:`repro.offloads`    -- proxy, LBs, cache, mutation, aggregation, NDP
 * :mod:`repro.apps`        -- workloads, RPC, KVS
 * :mod:`repro.policies`    -- per-entity isolation policies
+* :mod:`repro.chaos`       -- scripted fault orchestration and recovery
 * :mod:`repro.stats`       -- percentiles, fairness, FCT collection
 * :mod:`repro.experiments` -- one driver per paper table/figure
 """
 
-from . import apps, core, experiments, net, offloads, policies, sim, stats, \
-    transport
+from . import apps, chaos, core, experiments, net, offloads, policies, sim, \
+    stats, transport
 from .core import MtpEndpoint, MtpStack
 from .net import Network
 from .sim import Simulator
@@ -29,7 +30,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "sim", "net", "transport", "core", "offloads", "apps", "policies",
-    "stats", "experiments",
+    "chaos", "stats", "experiments",
     "Simulator", "Network", "MtpStack", "MtpEndpoint",
     "__version__",
 ]

@@ -1,0 +1,34 @@
+"""Deterministic fault orchestration for failure/recovery experiments.
+
+Three pieces:
+
+* :mod:`repro.chaos.schedule` — :class:`FaultEvent` / :class:`ChaosSchedule`:
+  the scripted adversity (link flaps, switch crashes, offload migrations,
+  corruption windows) as plain timestamped data;
+* :mod:`repro.chaos.controller` — :class:`ChaosController`: replays a
+  schedule against any :class:`~repro.net.topology.Network` from a single
+  seed;
+* :mod:`repro.chaos.recovery` — :class:`RecoveryMonitor`: time-to-recovery,
+  goodput-dip depth, and retransmission-storm size per fault.
+
+The determinism contract: a chaos run is a pure function of (topology,
+workload, schedule, seed).  All randomness is injected
+``random.Random(seed)``; fault application rides the simulator's event
+order; and the packet ledger stays conserved because every fault accounts
+the packets it kills (``link_down``, ``switch_crash``, ``checksum`` drop
+reasons).
+"""
+
+from .controller import ChaosController
+from .recovery import FaultRecovery, RecoveryMonitor
+from .schedule import (CORRUPTION_START, CORRUPTION_STOP, ChaosSchedule,
+                       FAULT_KINDS, FaultEvent, LINK_DOWN, LINK_UP,
+                       OFFLOAD_MIGRATE, SWITCH_CRASH, SWITCH_RESTART)
+
+__all__ = [
+    "FaultEvent", "ChaosSchedule", "ChaosController",
+    "RecoveryMonitor", "FaultRecovery",
+    "FAULT_KINDS", "LINK_DOWN", "LINK_UP", "SWITCH_CRASH",
+    "SWITCH_RESTART", "OFFLOAD_MIGRATE", "CORRUPTION_START",
+    "CORRUPTION_STOP",
+]

@@ -1,0 +1,191 @@
+"""Deterministic fault schedules.
+
+A :class:`ChaosSchedule` is an ordered list of timestamped
+:class:`FaultEvent` objects — the *entire* adversity of a run, fixed up
+front.  Replayed by a :class:`~repro.chaos.controller.ChaosController`,
+the same schedule against the same topology and seed produces a
+byte-identical simulation, which is what lets failure experiments be
+regression-tested like any other.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["FaultEvent", "ChaosSchedule", "FAULT_KINDS",
+           "LINK_DOWN", "LINK_UP", "SWITCH_CRASH", "SWITCH_RESTART",
+           "OFFLOAD_MIGRATE", "CORRUPTION_START", "CORRUPTION_STOP"]
+
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+SWITCH_CRASH = "switch_crash"
+SWITCH_RESTART = "switch_restart"
+OFFLOAD_MIGRATE = "offload_migrate"
+CORRUPTION_START = "corruption_start"
+CORRUPTION_STOP = "corruption_stop"
+
+#: Every fault kind a controller knows how to apply.
+FAULT_KINDS = frozenset({
+    LINK_DOWN, LINK_UP, SWITCH_CRASH, SWITCH_RESTART,
+    OFFLOAD_MIGRATE, CORRUPTION_START, CORRUPTION_STOP,
+})
+
+#: Kinds whose target is a ``(node_a, node_b)`` or ``(node_a, node_b,
+#: parallel_index)`` link address.
+LINK_KINDS = frozenset({LINK_DOWN, LINK_UP})
+
+
+class FaultEvent:
+    """One scripted fault: *at time t, do kind to target (with params)*.
+
+    Targets are **names**, not object references, so a schedule is
+    topology-independent: ``link_down``/``link_up`` take a
+    ``(node_a, node_b)`` pair (optionally ``(a, b, index)`` for parallel
+    links), switch and corruption faults take a switch name, and
+    ``offload_migrate`` takes ``(src_switch, dst_switch)`` with an
+    optional ``{"index": n}`` param choosing which attached processor
+    moves.
+    """
+
+    __slots__ = ("time_ns", "kind", "target", "params")
+
+    def __init__(self, time_ns: int, kind: str, target: Any,
+                 params: Optional[Dict[str, Any]] = None):
+        if time_ns < 0:
+            raise ValueError(f"fault time must be >= 0, got {time_ns}")
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.time_ns = time_ns
+        self.kind = kind
+        self.target = target
+        self.params: Dict[str, Any] = dict(params or {})
+
+    def __repr__(self) -> str:
+        return (f"<FaultEvent t={self.time_ns} {self.kind} "
+                f"target={self.target!r}>")
+
+
+class ChaosSchedule:
+    """An immutable-once-replayed sequence of fault events.
+
+    Construction is fluent (``schedule.link_down(...).link_up(...)``);
+    events may be added out of order — :meth:`sorted_events` orders them
+    by time with ties broken by insertion order, which is the order the
+    controller applies them in.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: List[FaultEvent] = list(events)
+
+    # -- fluent builders ------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "ChaosSchedule":
+        """Append one event; returns self for chaining."""
+        self.events.append(event)
+        return self
+
+    def link_down(self, time_ns: int, a: str, b: str,
+                  index: int = 0) -> "ChaosSchedule":
+        """Fail the ``index``-th parallel link between ``a`` and ``b``."""
+        return self.add(FaultEvent(time_ns, LINK_DOWN, (a, b, index)))
+
+    def link_up(self, time_ns: int, a: str, b: str,
+                index: int = 0) -> "ChaosSchedule":
+        """Restore the ``index``-th parallel link between ``a`` and ``b``."""
+        return self.add(FaultEvent(time_ns, LINK_UP, (a, b, index)))
+
+    def link_flap(self, a: str, b: str, down_ns: int, up_ns: int,
+                  index: int = 0) -> "ChaosSchedule":
+        """One down/up cycle on a link (``up_ns`` must follow ``down_ns``)."""
+        if up_ns <= down_ns:
+            raise ValueError("link must come up after it goes down")
+        return self.link_down(down_ns, a, b, index).link_up(
+            up_ns, a, b, index)
+
+    def switch_crash(self, time_ns: int, name: str) -> "ChaosSchedule":
+        """Crash a switch (queues flushed, offloads lost, links down)."""
+        return self.add(FaultEvent(time_ns, SWITCH_CRASH, name))
+
+    def switch_restart(self, time_ns: int, name: str) -> "ChaosSchedule":
+        """Restart a crashed switch with empty offload state."""
+        return self.add(FaultEvent(time_ns, SWITCH_RESTART, name))
+
+    def offload_migrate(self, time_ns: int, src: str, dst: str,
+                        index: int = 0) -> "ChaosSchedule":
+        """Move the ``index``-th offload processor from ``src`` to ``dst``.
+
+        The processor's optional ``on_migrate(src_switch, dst_switch)``
+        hook runs mid-flight — the handoff point for offload state.
+        """
+        return self.add(FaultEvent(time_ns, OFFLOAD_MIGRATE, (src, dst),
+                                   {"index": index}))
+
+    def corruption_window(self, start_ns: int, stop_ns: int, switch: str,
+                          probability: float) -> "ChaosSchedule":
+        """Corrupt packets traversing ``switch`` during a time window."""
+        if stop_ns <= start_ns:
+            raise ValueError("corruption window must have positive length")
+        self.add(FaultEvent(start_ns, CORRUPTION_START, switch,
+                            {"probability": probability}))
+        return self.add(FaultEvent(stop_ns, CORRUPTION_STOP, switch))
+
+    # -- generated adversity --------------------------------------------
+
+    @classmethod
+    def random_flaps(cls, links: List[Tuple[str, str]], rng: random.Random,
+                     duration_ns: int, flaps: int,
+                     min_outage_ns: int, max_outage_ns: int,
+                     ) -> "ChaosSchedule":
+        """A seeded storm of link flaps across ``links``.
+
+        All randomness flows from the injected ``rng`` — two calls with
+        equal arguments and equally seeded generators build identical
+        schedules.
+        """
+        if flaps < 0:
+            raise ValueError("flaps must be >= 0")
+        if not 0 < min_outage_ns <= max_outage_ns:
+            raise ValueError("need 0 < min_outage_ns <= max_outage_ns")
+        schedule = cls()
+        for _ in range(flaps):
+            a, b = links[rng.randrange(len(links))]
+            outage = rng.randint(min_outage_ns, max_outage_ns)
+            latest_start = max(0, duration_ns - outage)
+            start = rng.randint(0, latest_start) if latest_start else 0
+            schedule.link_flap(a, b, start, start + outage)
+        return schedule
+
+    # -- introspection --------------------------------------------------
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events by time; ties keep insertion order (stable sort)."""
+        return sorted(self.events, key=lambda event: event.time_ns)
+
+    def outage_windows(self, a: str, b: str,
+                       index: int = 0) -> List[Tuple[int, int]]:
+        """``(down_ns, up_ns)`` windows scripted for one link.
+
+        A final ``link_down`` with no matching ``link_up`` yields an
+        open-ended window ``(down_ns, None)``.
+        """
+        target = (a, b, index)
+        windows: List[Tuple[int, int]] = []
+        down_at: Optional[int] = None
+        for event in self.sorted_events():
+            if event.kind not in LINK_KINDS or event.target != target:
+                continue
+            if event.kind == LINK_DOWN and down_at is None:
+                down_at = event.time_ns
+            elif event.kind == LINK_UP and down_at is not None:
+                windows.append((down_at, event.time_ns))
+                down_at = None
+        if down_at is not None:
+            windows.append((down_at, None))  # type: ignore[arg-type]
+        return windows
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<ChaosSchedule events={len(self.events)}>"

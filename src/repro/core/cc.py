@@ -235,13 +235,19 @@ class PathletCcManager:
     """
 
     def __init__(self, mss: int = 1460, init_window_segments: int = 10,
-                 ecn_congested_alpha: float = 0.5):
+                 ecn_congested_alpha: float = 0.5,
+                 failover_loss_threshold: int = 3):
         self.mss = mss
         self.init_window_segments = init_window_segments
         self.ecn_congested_alpha = ecn_congested_alpha
+        #: Consecutive timeouts on one (pathlet, tc) before the pathlet is
+        #: declared failed and excluded from future sends.
+        self.failover_loss_threshold = failover_loss_threshold
         self._controllers: Dict[CcKey, CongestionController] = {}
         self._inflight: Dict[CcKey, int] = {}
         self._active_path: Dict[int, Tuple[int, ...]] = {}
+        #: (pathlet, tc) -> consecutive RTO losses with no intervening ACK.
+        self._consec_losses: Dict[CcKey, int] = {}
 
     # -- path knowledge -------------------------------------------------
 
@@ -327,15 +333,55 @@ class PathletCcManager:
                 controller = self.controller(pathlet_id, tc, feedback)
                 controller.on_ack(feedback, acked_bytes, rtt_ns, now,
                                   inflight=self.inflight(pathlet_id, tc))
+                # A delivery through this pathlet proves it alive again.
+                self._consec_losses.pop((pathlet_id, tc), None)
         else:
             controller = self.controller(UNKNOWN_PATHLET, tc)
             controller.on_ack(None, acked_bytes, rtt_ns, now,
                               inflight=self.inflight(UNKNOWN_PATHLET, tc))
+            self._consec_losses.pop((UNKNOWN_PATHLET, tc), None)
 
     def on_loss(self, path: Tuple[int, ...], tc: str, now: int) -> None:
-        """Penalize every pathlet the lost packet was charged to."""
+        """Penalize every pathlet the lost packet was charged to.
+
+        Crossing the consecutive-loss threshold declares the pathlet
+        failed: any destination whose assumed path runs through it is
+        forgotten, so subsequent sends fall back to the unknown-path
+        controller (fresh window, nothing charged) instead of queueing
+        behind a window full of bytes the dead pathlet will never
+        acknowledge.  The next acknowledgement re-learns the live path.
+        """
         for pathlet_id in path:
             self.controller(pathlet_id, tc).on_loss(now)
+            key = (pathlet_id, tc)
+            count = self._consec_losses.get(key, 0) + 1
+            self._consec_losses[key] = count
+            if (count >= self.failover_loss_threshold
+                    and pathlet_id != UNKNOWN_PATHLET):
+                self._forget_pathlet(pathlet_id)
+
+    def _forget_pathlet(self, pathlet_id: int) -> None:
+        """Drop a failed pathlet from every destination's assumed path."""
+        stale = [dst for dst, path in self._active_path.items()
+                 if pathlet_id in path]
+        for dst in stale:
+            del self._active_path[dst]
+
+    def failed_pathlets(self, tc: str) -> list:
+        """Pathlets presumed dead for ``tc`` (consecutive-RTO threshold).
+
+        A pathlet that has absorbed ``failover_loss_threshold`` timeouts
+        without a single acknowledgement in between is treated as failed;
+        senders exclude it so the network steers traffic onto survivors
+        within a bounded number of RTOs.  The verdict clears the moment an
+        acknowledgement arrives through the pathlet again.
+        """
+        threshold = self.failover_loss_threshold
+        return sorted(
+            pathlet_id
+            for (pathlet_id, key_tc), losses in self._consec_losses.items()
+            if key_tc == tc and pathlet_id != UNKNOWN_PATHLET
+            and losses >= threshold)
 
     # -- congestion signalling back to the network ----------------------
 

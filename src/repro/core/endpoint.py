@@ -73,10 +73,17 @@ class MtpStack(TransportStack):
 
     def __init__(self, host: Host, mss: int = 1460,
                  init_window_segments: int = 10,
-                 min_rto_ns: int = microseconds(100)):
+                 min_rto_ns: int = microseconds(100),
+                 max_rto_ns: int = microseconds(100_000),
+                 max_retries: int = 12):
         super().__init__(host)
         self.mss = min(mss, MTP_MAX_PAYLOAD)
         self.min_rto_ns = min_rto_ns
+        #: RFC 6298-style cap on the backed-off retransmission timeout.
+        self.max_rto_ns = max(max_rto_ns, min_rto_ns)
+        #: Per-packet RTO retransmissions before the whole message is
+        #: aborted and surfaced to the application via ``on_failed``.
+        self.max_retries = max_retries
         self.cc = PathletCcManager(mss=self.mss,
                                    init_window_segments=init_window_segments)
         self._endpoints: Dict[int, MtpEndpoint] = {}
@@ -143,6 +150,10 @@ class MtpEndpoint:
         self._rto_timer = Timer(self.sim, self._on_rto)
         self.srtt: Optional[int] = None
         self.rttvar = 0
+        #: Exponential backoff: each barren RTO doubles the timeout (up to
+        #: ``stack.max_rto_ns``); any acknowledgement progress resets it.
+        self._backoff_exp = 0
+        self.max_backoff_exp = 10
         self.advertise_exclusions = False
 
         # Receiver state.
@@ -196,17 +207,20 @@ class MtpEndpoint:
         self._try_send()
         return state
 
-    def abort_message(self, msg_id: int) -> bool:
+    def abort_message(self, msg_id: int, reason: str = "aborted") -> bool:
         """Cancel an outstanding message; returns False if already done.
 
         In-flight packets are uncharged from their pathlets; the receiver
         simply never completes the message (its partial state ages out with
         the connectionless transport — there is no connection to reset).
+        ``on_failed`` fires exactly once: the state is popped here, so a
+        second abort (or a racing deadline) finds nothing to fail.
         """
         state = self._outgoing.pop(msg_id, None)
         if state is None:
             return False
         state.failed = True
+        state.fail_reason = reason
         self.messages_failed += 1
         for pkt_num in list(state.inflight):
             state.inflight.pop(pkt_num)
@@ -224,7 +238,7 @@ class MtpEndpoint:
 
     def _check_deadline(self, msg_id: int) -> None:
         if msg_id in self._outgoing:
-            self.abort_message(msg_id)
+            self.abort_message(msg_id, reason="deadline")
 
     def _try_send(self) -> None:
         # Retransmissions first: they already consumed window budget once
@@ -297,6 +311,13 @@ class MtpEndpoint:
                            pkt_len=pkt_len, ts=self.sim.now)
         if self.advertise_exclusions:
             for pathlet_id in self.cc.congested_pathlets(message.tc):
+                header.path_exclude.append((pathlet_id, 0))
+        # Dead-pathlet failover: pathlets that ate several consecutive
+        # RTOs are excluded unconditionally (not gated on the congestion
+        # advertisement knob) so exclusion-honouring switches steer the
+        # message off the failed resource within a bounded number of RTOs.
+        for pathlet_id in self.cc.failed_pathlets(message.tc):
+            if (pathlet_id, 0) not in header.path_exclude:
                 header.path_exclude.append((pathlet_id, 0))
         header.payload = message.payload
         packet = Packet(self.stack.host.address, state.dst_address,
@@ -404,6 +425,10 @@ class MtpEndpoint:
             was_retransmitted = state.inflight.get(pkt_num, (0, False))[1]
             if not state.mark_acked(pkt_num):
                 continue
+            # Forward progress: the network is delivering again, so the
+            # exponential RTO backoff resets (RFC 6298 §5.7 analogue).
+            self._backoff_exp = 0
+            state.retry_count.pop(pkt_num, None)
             pkt_len = state.message.packet_sizes[pkt_num]
             path = state.charged_path.pop(pkt_num,
                                           self.cc.path_for(state.dst_address))
@@ -448,10 +473,18 @@ class MtpEndpoint:
 
     @property
     def rto_ns(self) -> int:
-        """Current retransmission timeout."""
+        """Current retransmission timeout (with exponential backoff).
+
+        The base RFC 6298-style estimate (``srtt + 4 * rttvar``) is
+        doubled per barren timeout and capped at ``stack.max_rto_ns`` so
+        a persistent outage cannot drive the endpoint into a
+        retransmission storm — nor into an unbounded wait.
+        """
         if self.srtt is None:
-            return 4 * self.stack.min_rto_ns
-        return max(self.stack.min_rto_ns, self.srtt + 4 * self.rttvar)
+            base = 4 * self.stack.min_rto_ns
+        else:
+            base = max(self.stack.min_rto_ns, self.srtt + 4 * self.rttvar)
+        return min(base << self._backoff_exp, self.stack.max_rto_ns)
 
     def _update_rtt(self, sample: int) -> None:
         if sample < 0:
@@ -480,6 +513,13 @@ class MtpEndpoint:
     def _arm_rto(self) -> None:
         deadline = self._earliest_deadline()
         if deadline is None:
+            if self._retx_queue:
+                # Nothing in flight but repairs are window-blocked: keep
+                # the timer alive so the queue is re-probed once per RTO
+                # instead of stalling forever (the window only reopens on
+                # events this timer itself must eventually trigger).
+                self._rto_timer.restart(self.rto_ns)
+                return
             self._rto_timer.stop()
             return
         delay = max(0, deadline - self.sim.now)
@@ -488,11 +528,14 @@ class MtpEndpoint:
     def _on_rto(self) -> None:
         now = self.sim.now
         rto = self.rto_ns
+        any_expired = False
+        exhausted: list = []
         for state in list(self._outgoing.values()):
             expired = [pkt_num for pkt_num, (sent, _) in
                        state.inflight.items() if now >= sent + rto]
             current_path = self.cc.path_for(state.dst_address)
             for pkt_num in expired:
+                any_expired = True
                 state.inflight.pop(pkt_num)
                 charged = state.charged_path.pop(pkt_num, current_path)
                 self.cc.uncharge(charged, state.message.tc,
@@ -502,8 +545,22 @@ class MtpEndpoint:
                 # switched away from, and the congestion that killed it is
                 # on the path in use now.
                 self.cc.on_loss(current_path, state.message.tc, now)
+                retries = state.retry_count.get(pkt_num, 0) + 1
+                state.retry_count[pkt_num] = retries
+                if retries > self.stack.max_retries:
+                    exhausted.append(state.message.msg_id)
+                    break
                 self._retx_queue.append(
                     (state.message.priority, state.message.msg_id, pkt_num))
+        if any_expired:
+            # Barren timeout: back the timer off exponentially so a dead
+            # path does not trigger a per-min-RTO retransmission storm.
+            self._backoff_exp = min(self._backoff_exp + 1,
+                                    self.max_backoff_exp)
+        for msg_id in exhausted:
+            # Clean abort: state is popped, pathlet charges released, the
+            # retransmission queue purged, and on_failed fires exactly once.
+            self.abort_message(msg_id, reason="max_retries")
         self._arm_rto()
         self._try_send()
 

@@ -94,12 +94,17 @@ class SendState:
         self.created_at = created_at
         self.completed_at: Optional[int] = None
         self.failed = False
+        #: Why the message failed ("deadline", "max_retries", "aborted");
+        #: None while in flight or after success.
+        self.fail_reason: Optional[str] = None
         self.next_to_send = 0
         self.acked: Set[int] = set()
         #: pkt_num -> (send_time, retransmitted) for unacked in-flight packets.
         self.inflight: Dict[int, Tuple[int, bool]] = {}
         #: pkt_num -> assumed path (tuple of pathlet ids) charged at send time.
         self.charged_path: Dict[int, Tuple[int, ...]] = {}
+        #: pkt_num -> RTO retransmissions queued so far for that packet.
+        self.retry_count: Dict[int, int] = {}
         self.retransmissions = 0
 
     @property

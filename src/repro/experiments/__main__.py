@@ -31,6 +31,7 @@ from .fig3_one_rpf import Fig3Config, compare_fig3
 from .fig5_multipath import Fig5Config, compare_fig5
 from .fig6_loadbalance import Fig6Config, compare_fig6
 from .fig7_isolation import Fig7Config, compare_fig7
+from .fig8_failover import Fig8Config, compare_fig8
 from .table1 import (BASELINE_LIMIT_PROBES, PROBES, render_paper_table,
                      run_baseline_probes, run_probes)
 
@@ -117,6 +118,44 @@ def run_fig7_report(quick: bool) -> str:
         title="Figure 7: per-entity isolation, tenant2 runs 8x streams")
 
 
+def run_fig8_report(quick: bool) -> str:
+    config = Fig8Config(duration_ns=milliseconds(5 if quick else 6))
+    results = compare_fig8(config)
+
+    def fmt_ttr(ttr):
+        return f"{ttr / 1e3:.0f}" if ttr is not None else "never"
+
+    rows = []
+    for result in results.values():
+        verdict = result.recovery("link_down")
+        rows.append([
+            result.protocol, fmt_ttr(result.link_down_ttr_ns),
+            f"{verdict.dip_bps / 1e9:.2f}" if verdict else "-",
+            verdict.retx_storm if verdict else "-",
+            f"{result.mean_goodput_bps / 1e9:.1f}",
+            "OK" if result.conservation and result.conservation.ok
+            else "LEAK"])
+    lines = [format_table(
+        ["protocol", "TTR (us)", "dip (Gbps)", "retx storm",
+         "goodput (Gbps)", "ledger"], rows,
+        title="Figure 8: primary-link failure, offload migration, "
+              "corruption window")]
+    tcp_ttr = results["dctcp"].link_down_ttr_ns
+    mtp_ttr = results["mtp"].link_down_ttr_ns
+    if mtp_ttr is not None and (tcp_ttr is None or mtp_ttr < tcp_ttr):
+        speedup = (f"{tcp_ttr / mtp_ttr:.1f}x faster"
+                   if tcp_ttr is not None else "TCP never recovered")
+        lines.append(f"MTP recovers in {mtp_ttr / 1e3:.0f} us "
+                     f"({speedup}).")
+    else:
+        lines.append("WARNING: MTP did not recover faster than TCP.")
+    telemetry = results["mtp"].telemetry
+    lines.append(f"telemetry offload: {telemetry.packets} packets "
+                 f"counted across {len(telemetry.migrations)} "
+                 f"migration(s) {telemetry.migrations}")
+    return "\n".join(lines)
+
+
 def run_ablations_report(quick: bool) -> str:
     duration = milliseconds(3 if quick else 5)
     sections = []
@@ -149,6 +188,7 @@ EXPERIMENTS = {
     "fig5": run_fig5_report,
     "fig6": run_fig6_report,
     "fig7": run_fig7_report,
+    "fig8": run_fig8_report,
     "ablations": run_ablations_report,
 }
 

@@ -1,7 +1,8 @@
 """Network substrate: packets, queues, links, nodes, routing, topologies."""
 
-from .faults import (BlackoutProcessor, DeterministicDropProcessor,
-                     RandomDropProcessor, drop_acks_filter)
+from .faults import (BlackoutProcessor, CorruptionProcessor,
+                     DeterministicDropProcessor, RandomDropProcessor,
+                     drop_acks_filter)
 from .link import (DEFAULT_HOST_QUEUE_CAPACITY, DEFAULT_QUEUE_CAPACITY,
                    Link, Port)
 from .monitor import PeriodicSampler, RateMonitor
@@ -10,8 +11,9 @@ from .packet import (DEFAULT_HEADER_BYTES, ECT_CAPABLE, ECT_CE,
                      ECT_NOT_CAPABLE, MTU, Packet)
 from .queues import (DropTailQueue, DRRQueue, FairShareQueue,
                      PriorityQueue, QueueDiscipline, RedQueue)
-from .routing import (AlternatingSelector, EcmpSelector, LeastQueuedSelector,
-                      PacketSpraySelector, PortSelector, stable_hash)
+from .routing import (AlternatingSelector, EcmpSelector, FailoverSelector,
+                      LeastQueuedSelector, PacketSpraySelector, PortSelector,
+                      stable_hash)
 from .topology import (Network, build_dumbbell, build_leaf_spine,
                        build_proxy_chain, build_two_path)
 
@@ -23,11 +25,12 @@ __all__ = [
     "Port", "Link", "DEFAULT_QUEUE_CAPACITY",
     "Node", "Host", "Switch", "PacketProcessor", "ProtocolHandler",
     "PortSelector", "EcmpSelector", "PacketSpraySelector",
-    "AlternatingSelector", "LeastQueuedSelector", "stable_hash",
+    "AlternatingSelector", "FailoverSelector", "LeastQueuedSelector",
+    "stable_hash",
     "Network", "build_dumbbell", "build_two_path", "build_proxy_chain",
     "build_leaf_spine",
     "RateMonitor", "PeriodicSampler",
     "RandomDropProcessor", "DeterministicDropProcessor",
-    "BlackoutProcessor", "drop_acks_filter",
+    "BlackoutProcessor", "CorruptionProcessor", "drop_acks_filter",
     "DEFAULT_HOST_QUEUE_CAPACITY",
 ]

@@ -56,6 +56,16 @@ class Port:
         self.bytes_transmitted = 0
         self.packets_transmitted = 0
         self.busy_until = 0
+        #: Link state: False while the attached link is administratively
+        #: or physically down.  Egress is refused and in-flight packets
+        #: (serializing or propagating) are lost when the link drops.
+        self.up = True
+        #: Monotonic failure epoch.  Every ``set_down()`` bumps it; the
+        #: epoch travels with each scheduled wire event so completions
+        #: scheduled before an outage are recognised as lost.
+        self.down_epoch = 0
+        #: Packets refused or lost because the link was down.
+        self.link_down_drops = 0
         #: Optional hook called with each packet as it completes serialization
         #: (used by monitors and in-network telemetry).
         self.on_transmit: Optional[Callable[[Packet], None]] = None
@@ -64,6 +74,13 @@ class Port:
         """Queue ``packet`` for transmission; returns False when it was dropped."""
         if self.peer is None:
             raise RuntimeError(f"port {self.name} is not connected")
+        if not self.up:
+            # A downed link refuses egress outright: the packet is lost at
+            # the NIC, mirroring a cable pull / interface-down.
+            self.link_down_drops += 1
+            if self.sim.ledger is not None:
+                self.sim.ledger.packet_dropped(packet, self.name, "link_down")
+            return False
         accepted = self.queue.enqueue(packet, self.sim.now)
         ledger = self.sim.ledger
         if ledger is not None:
@@ -74,6 +91,27 @@ class Port:
         if accepted and not self._busy:
             self._transmit_next()
         return accepted
+
+    def set_down(self) -> None:
+        """Take the port down: in-flight packets are lost, egress refused.
+
+        Packets already queued stay resident (they will transmit when the
+        link comes back); the packet currently serializing and any packet
+        propagating on the wire are dropped when their completion events
+        fire and notice the stale epoch.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.down_epoch += 1
+
+    def set_up(self) -> None:
+        """Bring the port back up and resume draining the egress queue."""
+        if self.up:
+            return
+        self.up = True
+        self._busy = False
+        self._transmit_next()
 
     @property
     def queue_length(self) -> int:
@@ -86,6 +124,9 @@ class Port:
         return self._busy
 
     def _transmit_next(self) -> None:
+        if not self.up:
+            self._busy = False
+            return
         packet = self.queue.dequeue(self.sim.now)
         if packet is None:
             self._busy = False
@@ -97,20 +138,39 @@ class Port:
         self.busy_until = self.sim.now + tx_delay
         # Serialization completions are never cancelled: use the
         # handle-free fast path (one tuple instead of tuple + handle).
-        self.sim.schedule_fast(tx_delay, self._finish_transmission, packet)
+        # The epoch rides along so a completion scheduled before an
+        # outage is recognised as belonging to a dead wire.
+        self.sim.schedule_fast(tx_delay, self._finish_transmission, packet,
+                               self.down_epoch)
 
-    def _finish_transmission(self, packet: Packet) -> None:
+    def _finish_transmission(self, packet: Packet, epoch: int = -1) -> None:
+        if epoch != self.down_epoch or not self.up:
+            # The link dropped while this packet was serializing: the
+            # partial frame is lost on the floor.
+            self.link_down_drops += 1
+            if self.sim.ledger is not None:
+                self.sim.ledger.packet_dropped(packet, self.name,
+                                               "link_down")
+            return
         self.bytes_transmitted += packet.size
         self.packets_transmitted += 1
         if self.on_transmit is not None:
             self.on_transmit(packet)
         # Propagation: packet arrives at the peer after the link delay.
         # Packets on the wire cannot be recalled — fast path again.
-        self.sim.schedule_fast(self.delay_ns, self._deliver, packet)
+        self.sim.schedule_fast(self.delay_ns, self._deliver, packet,
+                               self.down_epoch)
         self._transmit_next()
 
-    def _deliver(self, packet: Packet) -> None:
+    def _deliver(self, packet: Packet, epoch: int = -1) -> None:
         assert self.peer is not None and self.peer_port is not None
+        if epoch != self.down_epoch or not self.up:
+            # The link went down mid-propagation: the bits never arrive.
+            self.link_down_drops += 1
+            if self.sim.ledger is not None:
+                self.sim.ledger.packet_dropped(packet, self.name,
+                                               "link_down")
+            return
         self.peer.receive(packet, self.peer_port)
 
     def __repr__(self) -> str:
@@ -149,6 +209,21 @@ class Link:
         self.port_b.peer_port = self.port_a
         a.attach_port(self.port_a)
         b.attach_port(self.port_b)
+
+    @property
+    def up(self) -> bool:
+        """True while both directions of the link are up."""
+        return self.port_a.up and self.port_b.up
+
+    def set_down(self) -> None:
+        """Fail the link in both directions (cable pull)."""
+        self.port_a.set_down()
+        self.port_b.set_down()
+
+    def set_up(self) -> None:
+        """Restore the link in both directions."""
+        self.port_a.set_up()
+        self.port_b.set_up()
 
     def __repr__(self) -> str:
         return f"<Link {self.port_a.name} / {self.port_b.name}>"

@@ -120,6 +120,14 @@ class Host(Node):
             if ledger is not None:
                 ledger.packet_dropped(packet, self.name, "misrouted")
             return
+        if packet.corrupted:
+            # The checksum stand-in: damaged payloads are detected here
+            # and dropped, never delivered to the transport.  Recovery is
+            # the transport's job (retransmission after RTO/NACK).
+            self.counters.add("checksum_drops")
+            if ledger is not None:
+                ledger.packet_dropped(packet, self.name, "checksum")
+            return
         self.counters.add("rx_packets")
         self.counters.add("rx_bytes", packet.size)
         handler = self._protocols.get(packet.protocol)
@@ -143,6 +151,9 @@ class Switch(Node):
         self.selector = selector
         self.processors: List[PacketProcessor] = []
         self.record_hops = False
+        #: False while the switch is crashed: packets are dropped, queues
+        #: were flushed, and attached links are down.
+        self.alive = True
         #: Optional map from a port to its pathlet id; when set, the switch
         #: honours MTP path-exclude lists by filtering candidate ports.
         self.pathlet_lookup = None  # type: Optional[Callable[[Port], int]]
@@ -165,9 +176,67 @@ class Switch(Node):
             raise LookupError(
                 f"{self.name} has no route to address {dst_address}") from None
 
-    def receive(self, packet: Packet, ingress: "Port") -> None:
-        self.counters.add("rx_packets")
+    def crash(self) -> None:
+        """Crash the switch: offload state lost, queues flushed, links down.
+
+        Each attached offload gets a last-gasp ``on_switch_crash(switch)``
+        callback (if it defines one) before being detached — the hook is
+        where checkpoint/handoff logic lives; offloads without one simply
+        lose their state, exactly like a power cut.  All egress queues are
+        flushed (packets lost), and every attached link is taken down in
+        both directions so neighbours see loss of light.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for processor in self.processors:
+            hook = getattr(processor, "on_switch_crash", None)
+            if hook is not None:
+                hook(self)
+        self.processors.clear()
         ledger = self.sim.ledger
+        for port in self.ports:
+            while True:
+                packet = port.queue.dequeue(self.sim.now)
+                if packet is None:
+                    break
+                self.counters.add("crash_flushed")
+                if ledger is not None:
+                    ledger.packet_dropped(packet, port.name, "switch_crash")
+            port.set_down()
+            if port.peer_port is not None:
+                port.peer_port.set_down()
+
+    def restart(self, processors: Optional[List[PacketProcessor]] = None,
+                ) -> None:
+        """Bring a crashed switch back with empty (or supplied) offloads.
+
+        Routing tables survive (they model control-plane state pushed by
+        the controller); offload state does not, unless the caller hands
+        back processors rebuilt from a crash-time checkpoint.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        if processors is not None:
+            self.processors = list(processors)
+        for port in self.ports:
+            port.set_up()
+            if port.peer_port is not None:
+                port.peer_port.set_up()
+
+    def receive(self, packet: Packet, ingress: "Port") -> None:
+        ledger = self.sim.ledger
+        if not self.alive:
+            # A crashed switch is a black hole: anything that still
+            # reaches it (e.g. delivered in the same tick as the crash)
+            # is dropped.
+            self.counters.add("switch_down_drops")
+            if ledger is not None:
+                ledger.packet_arrived(packet, self.name)
+                ledger.packet_dropped(packet, self.name, "switch_down")
+            return
+        self.counters.add("rx_packets")
         if ledger is not None:
             ledger.packet_arrived(packet, self.name)
         if self.record_hops:

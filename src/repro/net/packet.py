@@ -43,11 +43,13 @@ class Packet:
         created_at: virtual time the packet was created (for latency stats).
         uid: globally unique packet id (diagnostics and tie-breaking).
         hops: node names traversed (recorded by switches; diagnostics).
+        corrupted: True once a fault has damaged the payload; receivers
+            model a checksum by dropping corrupted packets on arrival.
     """
 
     __slots__ = ("src", "dst", "size", "protocol", "header", "ecn",
                  "flow_label", "entity", "created_at", "uid", "hops",
-                 "pooled")
+                 "pooled", "corrupted")
 
     def __init__(self, src: int, dst: int, size: int, protocol: str,
                  header: Any = None, ecn: int = ECT_NOT_CAPABLE,
@@ -69,6 +71,10 @@ class Packet:
         #: True while the packet shell is on loan from a :class:`PacketPool`
         #: (set by :meth:`PacketPool.acquire`, cleared by ``release``).
         self.pooled = False
+        #: Set by corruption faults; checked (as a checksum stand-in) by
+        #: receiving hosts, which drop damaged packets instead of
+        #: delivering garbage to the transport.
+        self.corrupted = False
 
     @property
     def marked(self) -> bool:
@@ -148,6 +154,7 @@ class PacketPool:
         packet.uid = next(_packet_ids)
         packet.hops.clear()
         packet.pooled = True
+        packet.corrupted = False
         return packet
 
     def release(self, packet: Packet) -> None:

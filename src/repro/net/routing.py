@@ -18,7 +18,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .link import Port
 
 __all__ = ["PortSelector", "EcmpSelector", "PacketSpraySelector",
-           "AlternatingSelector", "LeastQueuedSelector", "stable_hash"]
+           "AlternatingSelector", "FailoverSelector", "LeastQueuedSelector",
+           "stable_hash"]
 
 
 def stable_hash(value: object) -> int:
@@ -97,6 +98,55 @@ class AlternatingSelector:
     def select(self, packet: Packet, candidates: Sequence["Port"],
                now: int) -> "Port":
         return candidates[self.active_index(now, len(candidates))]
+
+
+class FailoverSelector:
+    """Primary/backup selection with a loss-of-light detection delay.
+
+    Models a switch-local fast-reroute agent: candidate ``0`` is the
+    primary path and carries all traffic while its port is up.  When the
+    primary's carrier drops, the selector keeps steering packets at it
+    (blackholing them) for ``detection_delay_ns`` — the time the control
+    plane needs to notice loss of light and rewrite its table — then
+    fails over to the first live backup.  A returning primary is
+    re-adopted on the next packet (carrier state is authoritative).
+
+    Deterministic: the decision depends only on port carrier state and
+    virtual time; no wall clock, no RNG.  The failure/recovery
+    experiments (``fig8``) use it on both the TCP and the MTP run, so the
+    goodput contrast is purely transport-level.
+    """
+
+    def __init__(self, detection_delay_ns: int = 0):
+        if detection_delay_ns < 0:
+            raise ValueError("detection delay must be >= 0")
+        self.detection_delay_ns = detection_delay_ns
+        #: Virtual time the primary was first seen down (None while up).
+        self._down_since: Optional[int] = None
+        self._failed_over = False
+        #: How many distinct outages triggered a failover (for reports).
+        self.failovers = 0
+
+    def select(self, packet: Packet, candidates: Sequence["Port"],
+               now: int) -> "Port":
+        primary = candidates[0]
+        if primary.up:
+            self._down_since = None
+            self._failed_over = False
+            return primary
+        if self._down_since is None:
+            self._down_since = now
+        if now - self._down_since < self.detection_delay_ns:
+            # Outage not yet detected: traffic still blackholes into the
+            # dead port (dropped there with reason "link_down").
+            return primary
+        for port in candidates[1:]:
+            if port.up:
+                if not self._failed_over:
+                    self._failed_over = True
+                    self.failovers += 1
+                return port
+        return primary  # no live backup either; keep accounting the loss
 
 
 class LeastQueuedSelector:

@@ -80,6 +80,19 @@ class Network:
             raise TypeError(f"{name!r} is not a Switch")
         return node
 
+    def links_between(self, a_name: str, b_name: str) -> List[Link]:
+        """All links joining two named nodes, in creation order.
+
+        Parallel links are returned in the order they were connected, so
+        fault schedules can address "the second sw1–sw2 link" stably.
+        """
+        found = []
+        for link in self.links:
+            ends = {link.port_a.node.name, link.port_b.node.name}
+            if ends == {a_name, b_name}:
+                found.append(link)
+        return found
+
     def install_routes(self) -> None:
         """Install equal-cost shortest-path routes on every switch.
 

@@ -15,10 +15,13 @@ Two halves:
 from .bench import (BENCH_FILE, bench_event_throughput, bench_fig5_wallclock,
                     bench_timer_restarts, check_regression, load_baseline,
                     run_benchmarks, update_trajectory)
-from .parallel import sweep_map
+from .parallel import SweepError, SweepFailure, SweepOutcome, sweep_map
 
 __all__ = [
     "BENCH_FILE",
+    "SweepError",
+    "SweepFailure",
+    "SweepOutcome",
     "bench_event_throughput",
     "bench_fig5_wallclock",
     "bench_timer_restarts",

@@ -27,15 +27,20 @@ class ConnectionCallbacks:
         on_connected: called once the connection is established.
         on_data: called with the number of newly delivered in-order bytes.
         on_close: called when the peer closes the connection.
+        on_error: called with ``(conn, reason)`` when the transport gives
+            up on the connection (handshake failure, retransmission limit
+            reached) — the application-visible abort signal.
     """
 
     def __init__(self,
                  on_connected: Optional[Callable] = None,
                  on_data: Optional[Callable] = None,
-                 on_close: Optional[Callable] = None):
+                 on_close: Optional[Callable] = None,
+                 on_error: Optional[Callable] = None):
         self.on_connected = on_connected or (lambda conn: None)
         self.on_data = on_data or (lambda conn, nbytes: None)
         self.on_close = on_close or (lambda conn: None)
+        self.on_error = on_error or (lambda conn, reason: None)
 
 
 class TransportStack:

@@ -170,6 +170,8 @@ class TcpConnection:
                  swift_target_delay_ns: Optional[int] = None,
                  swift_beta: float = 0.8,
                  swift_max_decrease: float = 0.5,
+                 max_retries: int = 10,
+                 max_rto_ns: int = microseconds(500_000),
                  entity: str = "", meta_id: int = 0):
         if variant not in ("reno", "dctcp", "swift"):
             raise ValueError(f"unknown TCP variant {variant!r}")
@@ -182,6 +184,12 @@ class TcpConnection:
         self.variant = variant
         self.mss = mss
         self.min_rto_ns = min_rto_ns
+        #: Cap on the exponentially backed-off RTO (RFC 6298 §2.5 allows
+        #: a cap at or above 60 s; simulations use a tighter one).
+        self.max_rto_ns = max(max_rto_ns, min_rto_ns)
+        #: Consecutive data RTOs with no forward progress before the
+        #: connection aborts and surfaces ``on_error`` to the app.
+        self.max_retries = max_retries
         self.recv_buffer = recv_buffer
         self.auto_drain = auto_drain
         self.entity = entity
@@ -222,6 +230,7 @@ class TcpConnection:
         self.rto = 4 * min_rto_ns
         self._rto_timer = Timer(self.sim, self._on_rto)
         self._syn_retries = 0
+        self._consecutive_timeouts = 0
 
         # Receiver state.
         self.rcv_nxt = 0
@@ -264,6 +273,9 @@ class TcpConnection:
         self.timeouts = 0
         self.established_at: Optional[int] = None
         self.closed = False
+        #: Abort reason once the transport gave up ("syn_retries_exceeded",
+        #: "max_retries_exceeded"); None while healthy.
+        self.error: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -625,6 +637,10 @@ class TcpConnection:
             self._ack_segments(header.ack)
             self.snd_una = header.ack
             self._dupacks = 0
+            # Forward progress: the retry budget and backoff reset
+            # (RFC 6298 §5.7 — a fresh RTT sample below also recomputes
+            # the un-backed-off RTO).
+            self._consecutive_timeouts = 0
             rtt_sample = self._sample_rtt(header.ts_echo)
             self._dctcp_on_ack(newly_acked, header.ece)
             if self.variant == "swift" and rtt_sample is not None:
@@ -703,19 +719,29 @@ class TcpConnection:
         if self.state == "syn_sent":
             self._syn_retries += 1
             if self._syn_retries > 8:
-                self._abort()
+                self._abort("syn_retries_exceeded")
                 return
             self._send_control(FLAG_SYN, seq=0)
-            self.rto = min(self.rto * 2, microseconds(500_000))
+            self.rto = min(self.rto * 2, self.max_rto_ns)
             self._rto_timer.restart(self.rto)
             return
         if self.state == "syn_received":
+            self._syn_retries += 1
+            if self._syn_retries > 8:
+                self._abort("syn_retries_exceeded")
+                return
             syn_ack = self._make_header(FLAG_SYN | FLAG_ACK, seq=0)
             self._transmit(syn_ack, 0)
-            self.rto = min(self.rto * 2, microseconds(500_000))
+            self.rto = min(self.rto * 2, self.max_rto_ns)
             self._rto_timer.restart(self.rto)
             return
         if self.outstanding == 0:
+            return
+        self._consecutive_timeouts += 1
+        if self._consecutive_timeouts > self.max_retries:
+            # R2 of RFC 6298 / classic "ETIMEDOUT": the peer is presumed
+            # unreachable, so stop retransmitting and tell the app.
+            self._abort("max_retries_exceeded")
             return
         # Go-back-N: everything unacknowledged is presumed lost; slow start
         # will clock the retransmissions back out.
@@ -725,7 +751,7 @@ class TcpConnection:
         self.cwnd = self.mss
         self._in_recovery = False
         self._dupacks = 0
-        self.rto = min(self.rto * 2, microseconds(500_000))
+        self.rto = min(self.rto * 2, self.max_rto_ns)
         self._rto_timer.restart(self.rto)
         self._try_send()
 
@@ -811,10 +837,19 @@ class TcpConnection:
             if self.on_finished is not None:
                 self.on_finished(self)
 
-    def _abort(self) -> None:
+    def _abort(self, reason: str = "aborted") -> None:
+        """Unilateral teardown: timer disarmed, demux entry gone, app told.
+
+        ``closed`` is set first, so re-entrant segment arrivals and timer
+        races cannot fire the error callback twice.
+        """
+        if self.closed:
+            return
         self.closed = True
+        self.error = reason
         self._rto_timer.stop()
         self.stack.deregister(self)
+        self.callbacks.on_error(self, reason)
         self.callbacks.on_close(self)
 
     def __repr__(self) -> str:

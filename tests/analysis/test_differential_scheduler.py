@@ -13,7 +13,21 @@ import pytest
 from repro.analysis import check_replay, find_divergence, trace_run
 from repro.experiments.fig2_proxy import Fig2Config, run_fig2
 from repro.experiments.fig5_multipath import Fig5Config, run_fig5
+from repro.experiments.fig8_failover import Fig8Config, run_fig8
 from repro.sim import Simulator, microseconds
+
+
+def _chaos_config():
+    """A compressed fig8 fault timeline that fits a short trace."""
+    return Fig8Config(detection_delay_ns=microseconds(20),
+                      sample_interval_ns=microseconds(25),
+                      flap_down_ns=microseconds(150),
+                      flap_up_ns=microseconds(300),
+                      migrate_ns=microseconds(400),
+                      corrupt_start_ns=microseconds(430),
+                      corrupt_stop_ns=microseconds(480),
+                      corrupt_probability=0.05,
+                      duration_ns=microseconds(600))
 
 
 def _digests(setup):
@@ -59,6 +73,35 @@ class TestSchedulerDifferential:
             for name in ("heap", "wheel")}
         assert (by_scheduler["heap"].series
                 == by_scheduler["wheel"].series)
+
+    @pytest.mark.parametrize("protocol", ["dctcp", "mtp"])
+    def test_fig8_chaos_identical_traces(self, protocol):
+        # The chaos schedule (link flap, offload migration, corruption
+        # window) must not perturb scheduler equivalence: both kernels
+        # replay the same adversity event for event.
+        config = _chaos_config()
+
+        def setup(sim):
+            return run_fig8(protocol, config, sim=sim)
+
+        heap_trace, wheel_trace = _digests(setup)
+        _assert_identical(heap_trace, wheel_trace)
+
+    def test_fig8_applied_faults_identical_across_schedulers(self):
+        config = _chaos_config()
+        by_scheduler = {
+            name: run_fig8("mtp", config, sim=Simulator(name))
+            for name in ("heap", "wheel")}
+        assert (by_scheduler["heap"].applied
+                == by_scheduler["wheel"].applied)
+        assert (by_scheduler["heap"].series
+                == by_scheduler["wheel"].series)
+
+    def test_fig8_chaos_replays_itself(self):
+        config = _chaos_config()
+        report = check_replay(lambda sim: run_fig8("mtp", config, sim=sim),
+                              sim_factory=lambda: Simulator("wheel"))
+        assert report.ok, report.describe()
 
     def test_wheel_replays_itself(self):
         # The wheel is also self-deterministic: two wheel runs of the

@@ -7,10 +7,11 @@ inside the fast test suite (wiring, result objects, edge cases).
 import pytest
 
 from repro.experiments import (Fig2Config, Fig3Config, Fig5Config,
-                               Fig6Config, Fig7Config, compare_fig2,
-                               run_fig3, run_fig5, run_fig6, run_fig7,
+                               Fig6Config, Fig7Config, Fig8Config,
+                               compare_fig2, compare_fig8, run_fig3,
+                               run_fig5, run_fig6, run_fig7, run_fig8,
                                render_paper_table, run_probes)
-from repro.sim import milliseconds
+from repro.sim import microseconds, milliseconds
 
 
 class TestFig2Driver:
@@ -92,6 +93,46 @@ class TestFig7Driver:
     def test_unknown_system(self):
         with pytest.raises(ValueError):
             run_fig7("anarchy")
+
+
+def _quick_fig8_config():
+    return Fig8Config(detection_delay_ns=microseconds(20),
+                      flap_down_ns=microseconds(200),
+                      flap_up_ns=milliseconds(1.2),
+                      migrate_ns=milliseconds(1.5),
+                      corrupt_start_ns=milliseconds(1.8),
+                      corrupt_stop_ns=milliseconds(2.0),
+                      duration_ns=milliseconds(2.5))
+
+
+class TestFig8Driver:
+    def test_headline_mtp_recovers_faster(self):
+        results = compare_fig8(_quick_fig8_config())
+        mtp, tcp = results["mtp"], results["dctcp"]
+        assert mtp.link_down_ttr_ns is not None
+        if tcp.link_down_ttr_ns is not None:
+            assert mtp.link_down_ttr_ns < tcp.link_down_ttr_ns
+        for result in results.values():
+            # Sanitizers were on by default and every packet accounted.
+            assert result.conservation is not None
+            assert result.conservation.ok, result.conservation.summary()
+            # The identical chaos schedule was fully applied.
+            assert len(result.applied) == 5
+            assert result.telemetry.migrations == [("sw1", "sw2")]
+            assert result.mean_goodput_bps > 0
+
+    def test_failover_and_retransmissions_recorded(self):
+        result = run_fig8("mtp", _quick_fig8_config())
+        assert result.failovers >= 1
+        assert result.retransmissions > 0
+        assert result.recovery("link_down") is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig8("smoke-signals")
+        with pytest.raises(ValueError):
+            Fig8Config(flap_down_ns=milliseconds(3),
+                       flap_up_ns=milliseconds(2))
 
 
 class TestTable1Driver:
